@@ -1,0 +1,29 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artifact (table/figure); the
+rendered report is written to ``benchmarks/results/<artifact>.txt`` so
+a full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
+set of reproduced tables behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

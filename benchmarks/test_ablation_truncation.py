@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the §5.2 truncation-depth ablation."""
+
+from repro.experiments import ablation_truncation
+from repro.experiments.common import Scale
+
+
+def test_ablation_truncation(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablation_truncation.run, args=(Scale.SMOKE,), rounds=1, iterations=1
+    )
+    rows = {r["up_levels"]: r for r in result["rows"]}
+    assert rows[0]["mm_steps"] == 0
+    assert rows[2]["parallel_levels"] > rows[0]["parallel_levels"]
+    save_report("ablation_truncation", ablation_truncation.report(Scale.SMOKE))

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of the Eq. 6/7 complexity verification."""
+
+from repro.experiments import eq6_complexity
+from repro.experiments.common import Scale
+
+
+def test_eq6_complexity(benchmark, save_report):
+    result = benchmark(eq6_complexity.run, Scale.SMOKE)
+    for row in result["rows"]:
+        assert row["work_blelloch"] <= 2 * (row["n"] + 1)
+    save_report("eq6_complexity", eq6_complexity.report(Scale.SMOKE))

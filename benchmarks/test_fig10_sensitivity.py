@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Figure 10 (speedup vs T and B)."""
+
+from repro.experiments import fig10_sensitivity
+from repro.experiments.common import Scale
+
+
+def test_fig10_sensitivity(benchmark, save_report):
+    result = benchmark(fig10_sensitivity.run, Scale.SMOKE)
+    t_rows = result["t_sweep"]
+    # paper shapes: rises with T; 2080Ti ≥ 2070 at scale
+    col = [r["RTX 2070 backward"] for r in t_rows]
+    assert col == sorted(col)
+    assert t_rows[-1]["RTX 2080Ti backward"] >= t_rows[-1]["RTX 2070 backward"]
+    save_report("fig10_sensitivity", fig10_sensitivity.report(Scale.SMOKE))

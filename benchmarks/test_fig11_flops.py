@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of Figure 11 (pruned VGG-11 per-step FLOPs)."""
+
+from repro.experiments import fig11_flops
+from repro.experiments.common import Scale
+
+
+def test_fig11_flops(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig11_flops.run, args=(Scale.SMOKE,), rounds=1, iterations=1
+    )
+    # the paper's conclusion: per-step complexity comparable to baseline
+    assert result["per_step_ratio"] < 20.0
+    save_report("fig11_flops", fig11_flops.report(Scale.SMOKE))

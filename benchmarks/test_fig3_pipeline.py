@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 3 / Section 2.2 (pipeline limits)."""
+
+from repro.experiments import fig3_pipeline
+from repro.experiments.common import Scale
+
+
+def test_fig3_pipeline(benchmark, save_report):
+    result = benchmark(fig3_pipeline.run, Scale.SMOKE)
+    rows = result["rows"]
+    bubbles = [r["gpipe_bubble"] for r in rows]
+    assert bubbles == sorted(bubbles)
+    save_report("fig3_pipeline", fig3_pipeline.report(Scale.SMOKE))

@@ -1,0 +1,10 @@
+"""Benchmark + regeneration of Figure 4 (scan schedule on VGG-11)."""
+
+from repro.experiments import fig4_schedule
+from repro.experiments.common import Scale
+
+
+def test_fig4_schedule(benchmark, save_report):
+    result = benchmark(fig4_schedule.run, Scale.SMOKE)
+    assert result["num_stages"] == 8
+    save_report("fig4_schedule", fig4_schedule.report(Scale.SMOKE))

@@ -1,0 +1,10 @@
+"""Benchmark + regeneration of Figure 6 (Jacobian sparsity patterns)."""
+
+from repro.experiments import fig6_patterns
+from repro.experiments.common import Scale
+
+
+def test_fig6_patterns(benchmark, save_report):
+    result = benchmark(fig6_patterns.run, Scale.SMOKE)
+    assert result["conv"]["sparsity"] > 0.5
+    save_report("fig6_patterns", fig6_patterns.report(Scale.SMOKE))

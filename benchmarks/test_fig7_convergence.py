@@ -1,0 +1,42 @@
+"""Benchmark + regeneration of Figure 7 (LeNet-5 convergence BP vs BPPSA).
+
+Benchmarks one training step of each engine on the scaled LeNet-5; the
+full (SMOKE) convergence comparison is regenerated once and saved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FeedforwardBPPSA, Trainer
+from repro.data import SyntheticImages
+from repro.experiments import fig7_convergence
+from repro.experiments.common import Scale
+from repro.nn import LeNet5, Sequential
+from repro.optim import SGD
+
+
+def _setup(use_bppsa: bool):
+    net = LeNet5(rng=np.random.default_rng(0), width_multiplier=0.25)
+    model = Sequential(*(list(net.features) + list(net.classifier)))
+    opt = SGD(model.parameters(), lr=1e-3, momentum=0.9)
+    engine = FeedforwardBPPSA(model) if use_bppsa else None
+    trainer = Trainer(model, opt, engine=engine)
+    ds = SyntheticImages(num_samples=32, seed=0)
+    x, y = next(ds.batches(8))
+    return trainer, x, y
+
+
+@pytest.mark.parametrize("engine_name", ["baseline_bp", "bppsa"])
+def test_lenet_train_step(benchmark, engine_name):
+    trainer, x, y = _setup(engine_name == "bppsa")
+    benchmark.group = "fig7: LeNet-5 train step"
+    loss, _ = benchmark(trainer.train_step, x, y)
+    assert np.isfinite(loss)
+
+
+def test_fig7_report(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig7_convergence.run, args=(Scale.SMOKE,), rounds=1, iterations=1
+    )
+    assert result["max_train_divergence"] < 1e-8
+    save_report("fig7_convergence", fig7_convergence.report(Scale.SMOKE))

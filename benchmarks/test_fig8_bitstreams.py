@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of Figure 8 (bitstream dataset)."""
+
+from repro.data import BitstreamDataset
+from repro.experiments import fig8_bitstreams
+from repro.experiments.common import Scale
+
+
+def test_bitstream_batch_generation(benchmark, save_report):
+    ds = BitstreamDataset(seq_len=1000, num_samples=512, seed=0)
+
+    def one_batch():
+        return next(ds.batches(16))
+
+    x, y = benchmark(one_batch)
+    assert x.shape == (16, 1000, 1)
+    save_report("fig8_bitstreams", fig8_bitstreams.report(Scale.SMOKE))

@@ -1,0 +1,56 @@
+"""Benchmark + regeneration of Figure 9 (RNN loss vs wall-clock).
+
+Benchmarks the *actual* backward computations of both engines on the
+CPU substrate (T=200, the numerics behind the curve), and regenerates
+the figure's data — loss series plus simulated-device time axes — once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RNNBPPSA
+from repro.experiments import fig9_rnn_curve
+from repro.experiments.common import Scale
+from repro.nn import CrossEntropyLoss, RNNClassifier
+from repro.tensor import Tensor
+
+T, B, H = 200, 16, 20
+
+
+def _clf():
+    return RNNClassifier(1, H, 10, rng=np.random.default_rng(0))
+
+
+def test_baseline_taped_backward(benchmark):
+    clf = _clf()
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((B, T, 1))
+    y = rng.integers(0, 10, B)
+    loss_fn = CrossEntropyLoss()
+    benchmark.group = "fig9: RNN backward (CPU substrate)"
+
+    def step():
+        clf.zero_grad()
+        loss_fn(clf(Tensor(x)), y).backward()
+
+    benchmark(step)
+
+
+@pytest.mark.parametrize("algorithm", ["linear", "blelloch"])
+def test_bppsa_backward(benchmark, algorithm):
+    clf = _clf()
+    engine = RNNBPPSA(clf, algorithm=algorithm)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((B, T, 1))
+    y = rng.integers(0, 10, B)
+    benchmark.group = "fig9: RNN backward (CPU substrate)"
+    benchmark(engine.compute_gradients, x, y)
+
+
+def test_fig9_report(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig9_rnn_curve.run, args=(Scale.SMOKE,), rounds=1, iterations=1
+    )
+    assert result["max_loss_divergence"] < 1e-9
+    assert result["overall_speedup"] > 1.0
+    save_report("fig9_rnn_curve", fig9_rnn_curve.report(Scale.SMOKE))

@@ -1,0 +1,50 @@
+"""Microbenchmark: analytical Jacobian generation vs the autograd
+baseline (Table 1's last column, measured rather than asserted)."""
+
+import numpy as np
+import pytest
+
+from repro.jacobian import autograd_tjac, conv2d_tjac, maxpool_tjac, relu_tjac
+from repro.tensor import Tensor, ops
+
+CI, CO, H, W = 2, 4, 10, 10
+
+
+def test_conv_analytical(benchmark):
+    rng = np.random.default_rng(0)
+    weight = rng.standard_normal((CO, CI, 3, 3))
+    benchmark.group = "Jacobian generation: conv"
+    tj = benchmark(conv2d_tjac, weight, (H, W), 1, 1)
+    assert tj.nnz > 0
+
+
+def test_conv_autograd_baseline(benchmark):
+    rng = np.random.default_rng(0)
+    weight = Tensor(rng.standard_normal((CO, CI, 3, 3)))
+    x = rng.standard_normal((CI, H, W))
+    benchmark.group = "Jacobian generation: conv"
+
+    def column_at_a_time():
+        return autograd_tjac(
+            lambda t: ops.conv2d(t.reshape(1, CI, H, W), weight, None, padding=1),
+            x,
+        )
+
+    tj = benchmark.pedantic(column_at_a_time, rounds=1, iterations=1)
+    assert tj.shape == (CI * H * W, CO * H * W)
+
+
+def test_relu_analytical(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(CI * H * W)
+    benchmark.group = "Jacobian generation: relu"
+    tj = benchmark(relu_tjac, x)
+    assert tj.shape == (CI * H * W, CI * H * W)
+
+
+def test_maxpool_analytical(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((CI, H, W))
+    benchmark.group = "Jacobian generation: maxpool"
+    tj = benchmark(maxpool_tjac, x, 2)
+    assert tj.nnz == CI * H * W

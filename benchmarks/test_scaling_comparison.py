@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of the Figure 1 scaling comparison."""
+
+from repro.experiments import scaling_comparison
+from repro.experiments.common import Scale
+
+
+def test_scaling_comparison(benchmark, save_report):
+    result = benchmark(scaling_comparison.run, Scale.SMOKE)
+    rows = result["rows"]
+    # baselines flat in p, BPPSA strictly improving until the log floor
+    assert all(r["naive"] == rows[0]["naive"] for r in rows)
+    bppsa = [r["bppsa"] for r in rows]
+    assert bppsa == sorted(bppsa, reverse=True)
+    assert result["crossover"] is not None
+    save_report("scaling_comparison", scaling_comparison.report(Scale.SMOKE))

@@ -1,0 +1,54 @@
+"""Microbenchmarks of the scan kernels on the CPU substrate.
+
+Compares the serial linear scan (≡ BP), the modified Blelloch scan, the
+truncated variant, and Hillis–Steele on an RNN-shaped chain of dense
+Jacobians.  On a serial CPU the Blelloch scan does ~2× the work of the
+linear scan, so these numbers quantify the work overhead the paper
+trades for Θ(log n) steps — the *step* win is shown by the PRAM
+simulator (fig10), not by CPU wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scan import (
+    DenseJacobian,
+    GradientVector,
+    ScanContext,
+    blelloch_scan,
+    hillis_steele_scan,
+    linear_scan,
+    truncated_blelloch_scan,
+)
+
+T, B, H = 256, 4, 20
+
+
+def make_items():
+    rng = np.random.default_rng(0)
+    items = [GradientVector(rng.standard_normal((B, H)))]
+    items += [
+        DenseJacobian(rng.standard_normal((B, H, H))) for _ in range(T)
+    ]
+    return items
+
+
+@pytest.mark.parametrize(
+    "name,runner",
+    [
+        ("linear", lambda items: linear_scan(items, ScanContext().op)),
+        ("blelloch", lambda items: blelloch_scan(items, ScanContext().op)),
+        (
+            "truncated_k4",
+            lambda items: truncated_blelloch_scan(
+                items, ScanContext().op, up_levels=4
+            ),
+        ),
+        ("hillis_steele", lambda items: hillis_steele_scan(items, ScanContext().op)),
+    ],
+)
+def test_scan_kernel(benchmark, name, runner):
+    items = make_items()
+    benchmark.group = f"scan kernels (T={T}, B={B}, H={H})"
+    out = benchmark(runner, items)
+    assert len(out) == T + 1

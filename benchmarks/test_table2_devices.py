@@ -1,0 +1,10 @@
+"""Regeneration of Table 2 (platform catalog)."""
+
+from repro.experiments import table2_devices
+from repro.experiments.common import Scale
+
+
+def test_table2_devices(benchmark, save_report):
+    result = benchmark(table2_devices.run, Scale.SMOKE)
+    assert len(result["rows"]) == 2
+    save_report("table2_devices", table2_devices.report(Scale.SMOKE))

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: back-propagation as a parallel scan.
+
+Builds a small MLP, computes gradients three ways — taped baseline BP,
+BPPSA with the linear scan (serial, literally Eq. 3), and BPPSA with
+the modified Blelloch scan — and shows all three agree to floating
+point, then takes a few optimizer steps driven by the Blelloch engine.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FeedforwardBPPSA
+from repro.nn import CrossEntropyLoss, make_mlp
+from repro.optim import SGD
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(0)
+
+# A 4-layer tanh MLP: 32 → 64 → 64 → 10.
+model = make_mlp([32, 64, 64, 10], activation="tanh", rng=rng)
+x = rng.standard_normal((8, 32))
+y = rng.integers(0, 10, 8)
+
+# --- 1. baseline: taped reverse-mode BP ---------------------------------
+loss_fn = CrossEntropyLoss()
+model.zero_grad()
+loss = loss_fn(model(Tensor(x)), y)
+loss.backward()
+baseline = {name: p.grad.copy() for name, p in model.named_parameters()}
+print(f"baseline BP          loss={float(loss.data):.4f}")
+
+# --- 2. BPPSA, serial linear scan (identical order to BP) ---------------
+for algorithm in ("linear", "blelloch"):
+    engine = FeedforwardBPPSA(model, algorithm=algorithm)
+    grads = engine.compute_gradients(x, y)
+    worst = max(
+        np.abs(grads[id(p)].reshape(p.data.shape) - baseline[name]).max()
+        for name, p in model.named_parameters()
+    )
+    ops = len(engine.context.trace)
+    levels = len({(s.info.phase, s.info.level) for s in engine.context.trace})
+    print(
+        f"BPPSA ({algorithm:9s})  max |Δgrad| vs BP = {worst:.2e}   "
+        f"{ops} ⊙ ops in {levels} parallel levels"
+    )
+
+# --- 3. train with the Blelloch engine -----------------------------------
+engine = FeedforwardBPPSA(model, algorithm="blelloch")
+opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+print("\ntraining with BPPSA gradients:")
+for step in range(10):
+    grads = engine.compute_gradients(x, y)
+    engine.apply_gradients(grads)
+    opt.step()
+    if step % 3 == 0 or step == 9:
+        logits = engine.forward(x)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        nll = np.log(np.exp(shifted).sum(axis=1)) - shifted[np.arange(8), y]
+        print(f"  step {step:2d}  loss={nll.mean():.4f}")

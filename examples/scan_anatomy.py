@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Anatomy of the modified Blelloch scan (paper Figures 1 and 4).
+
+Walks through the scan on a synthetic chain of transposed Jacobians,
+printing every ⊙ application by phase and level, comparing step counts
+against the serial baseline, and demonstrating why the down-sweep must
+reverse operand order for the non-commutative ⊙.
+
+Run:  python examples/scan_anatomy.py
+"""
+
+import numpy as np
+
+from repro.pram import GPUCostModel, PRAMMachine, RTX_2070
+from repro.scan import (
+    DenseJacobian,
+    GradientVector,
+    ScanContext,
+    blelloch_scan,
+    build_blelloch_dag,
+    build_linear_dag,
+    linear_scan,
+    simple_op,
+)
+
+rng = np.random.default_rng(0)
+N, H = 8, 4  # 8 stages of H×H Jacobians (Figure 4's VGG-11 conv stack)
+
+items = [GradientVector(rng.standard_normal((1, H)))]
+items += [DenseJacobian(rng.standard_normal((H, H))) for _ in range(N)]
+
+# --- numeric: both algorithms agree --------------------------------------
+ref = linear_scan(items, ScanContext().op)
+ctx = ScanContext()
+out = blelloch_scan(items, ctx.op)
+worst = max(
+    np.abs(out[p].data - ref[p].data).max() for p in range(1, N + 1)
+)
+print(f"Blelloch vs linear scan: max |Δ| = {worst:.2e} over {N} outputs")
+
+# --- the schedule ----------------------------------------------------------
+print("\n⊙ applications by level (phase d: positions l,r → kind):")
+for rec in ctx.trace:
+    i = rec.info
+    print(f"  {i.phase:>4} d={i.level}: a[{i.left}] ⊙ a[{i.right}]  ({rec.kind})")
+
+dag = build_blelloch_dag(N + 1)
+lin = build_linear_dag(N + 1)
+print(f"\nparallel levels: {dag.num_levels} (vs {lin.num_levels} serial steps)")
+
+machine = PRAMMachine(GPUCostModel(RTX_2070))
+sched = machine.schedule(dag)
+print(f"simulated makespan on RTX 2070: {sched.makespan_seconds * 1e6:.1f} µs")
+
+# --- non-commutativity: why the down-sweep reverses operands --------------
+concat = simple_op(lambda a, b: b + a)  # A ⊙ B = BA on strings
+words = list("abcdefg")
+result = blelloch_scan(words, concat, identity="")
+expected = ["".join(reversed(words[:k])) for k in range(len(words))]
+assert result == expected, (result, expected)
+print("\nnon-commutative string check:", " ".join(repr(s) for s in result))
+print("(each output is the reversed concatenation of the prefix — ⊙ order held)")

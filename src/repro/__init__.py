@@ -1,0 +1,60 @@
+"""repro — reproduction of *BPPSA: Scaling Back-propagation by Parallel
+Scan Algorithm* (Wang, Bai & Pekhimenko, MLSys 2020).
+
+Back-propagation's layer-to-layer recurrence (Eq. 3) is an exclusive
+scan of the non-commutative operator ``A ⊙ B = B·A`` over the reversed
+sequence of transposed Jacobians seeded with the output gradient
+(Eq. 5).  BPPSA runs that scan with a modified Blelloch algorithm in
+Θ(log n) steps instead of BP's Θ(n), with Θ(n) work and constant
+per-device space, exploiting the deterministic sparsity of operator
+Jacobians to keep each step cheap.
+
+Quick start::
+
+    import numpy as np
+    from repro.nn import RNNClassifier
+    from repro.core import RNNBPPSA
+    from repro.optim import Adam
+
+    clf = RNNBPPSA(RNNClassifier(1, 20, 10,
+                   rng=np.random.default_rng(0)), algorithm="blelloch")
+    grads = clf.compute_gradients(x, y)     # exact BP gradients, via scan
+    clf.apply_gradients(grads)
+    Adam(clf.clf.parameters(), lr=3e-5).step()
+
+Package map (see DESIGN.md for the full inventory):
+
+========================  =============================================
+``repro.tensor``          reverse-mode autodiff substrate (the baseline)
+``repro.nn``              layers, RNN, LeNet-5, VGG-11, losses
+``repro.optim``           SGD(+momentum), Adam
+``repro.sparse``          CSR + plan-cached SpGEMM
+``repro.jacobian``        analytical transposed-Jacobian generators
+``repro.scan``            the ⊙ operator; Blelloch / linear / truncated
+``repro.core``            BPPSA engines and trainers
+``repro.pram``            PRAM/GPU simulator and device catalog
+``repro.pipeline``        GPipe / PipeDream / naïve baselines
+``repro.data``            bitstream task, synthetic CIFAR-10 substitute
+``repro.pruning``         magnitude pruning for the retraining benchmark
+``repro.analysis``        static FLOPs, complexity laws
+``repro.experiments``     one runnable module per paper table/figure
+========================  =============================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "sparse",
+    "jacobian",
+    "scan",
+    "core",
+    "pram",
+    "pipeline",
+    "data",
+    "pruning",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,55 @@
+"""Parameter gradients from activation gradients (paper Eq. 2).
+
+Once the scan has produced every ``∇x_i ℓ``, parameter gradients
+``∇θ_i ℓ = (∂x_i/∂θ_i)^T ∇x_i ℓ`` have **no dependency along i** and
+parallelize trivially — the paper's Eq. 2.  These routines compute that
+contraction in closed form for the parameterized layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.ops import im2col
+
+
+def linear_param_grads(
+    x_in: np.ndarray, grad_out: np.ndarray, has_bias: bool
+) -> Dict[str, Optional[np.ndarray]]:
+    """Gradients of ``y = x @ W^T + b``.
+
+    ``x_in``: (B, d_in); ``grad_out``: (B, d_out).
+    """
+    gw = grad_out.T @ x_in  # (d_out, d_in)
+    gb = grad_out.sum(axis=0) if has_bias else None
+    return {"weight": gw, "bias": gb}
+
+
+def conv2d_param_grads(
+    x_in: np.ndarray,
+    grad_out: np.ndarray,
+    weight_shape: Tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    has_bias: bool,
+) -> Dict[str, Optional[np.ndarray]]:
+    """Gradients of a 2-D convolution's filter and bias.
+
+    ``x_in``: (B, C, H, W); ``grad_out``: (B, Co, Ho, Wo) (may arrive
+    flattened as (B, Co·Ho·Wo) from the scan — reshape first).
+    """
+    co, ci, kh, kw = weight_shape
+    batch = x_in.shape[0]
+    if grad_out.ndim == 2:
+        n_out = grad_out.shape[1] // co
+        ho = wo = int(np.sqrt(n_out))
+        if ho * wo != n_out:
+            raise ValueError("cannot infer square output spatial dims")
+        grad_out = grad_out.reshape(batch, co, ho, wo)
+    cols = im2col(x_in, kh, kw, stride, padding)  # (C·kh·kw, Ho·Wo·B)
+    g_mat = grad_out.transpose(1, 2, 3, 0).reshape(co, -1)  # (Co, Ho·Wo·B)
+    gw = (g_mat @ cols.T).reshape(weight_shape)
+    gb = grad_out.sum(axis=(0, 2, 3)) if has_bias else None
+    return {"weight": gw, "bias": gb}

@@ -1,0 +1,137 @@
+"""BPPSA for the vanilla RNN classifier (paper Section 4.1).
+
+The backward pass of an unrolled RNN computes ``∇h_t ℓ`` for
+``t = T … 1`` through a chain of ``T`` matrix–vector products — the
+longest sequential dependency in the paper's evaluation.  Here that
+chain becomes an exclusive scan over
+
+    [∇h_T ℓ, (∂h_T/∂h_{T−1})^T, …, (∂h_1/∂h_0)^T]
+
+with per-sample dense H×H Jacobians ``W_hh^T · diag(1 − h_t²)``
+(Eq. 9 differentiated), after which all parameter gradients follow from
+Eq. 2 with no dependency along t.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.loss import softmax_xent_grad
+from repro.nn.rnn import RNNClassifier
+from repro.scan import (
+    DenseJacobian,
+    GradientVector,
+    ScanContext,
+    blelloch_scan,
+    hillis_steele_scan,
+    linear_scan,
+    truncated_blelloch_scan,
+)
+
+_ALGORITHMS = ("blelloch", "linear", "hillis_steele", "truncated")
+
+
+class RNNBPPSA:
+    """Scan-based gradient engine for :class:`~repro.nn.rnn.RNNClassifier`."""
+
+    def __init__(
+        self,
+        classifier: RNNClassifier,
+        algorithm: str = "blelloch",
+        up_levels: int = 2,
+    ) -> None:
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
+        self.clf = classifier
+        self.algorithm = algorithm
+        self.up_levels = up_levels
+        self.context = ScanContext(densify_threshold=None)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Pure-NumPy forward pass; returns logits and caches h_1..h_T."""
+        x = np.asarray(x, dtype=np.float64)
+        batch, seq_len, _ = x.shape
+        cell = self.clf.rnn.cell
+        w_ih, w_hh = cell.weight_ih.data, cell.weight_hh.data
+        b = cell.bias_ih.data + cell.bias_hh.data
+        h = np.zeros((batch, cell.hidden_size))
+        hs = np.empty((seq_len, batch, cell.hidden_size))
+        for t in range(seq_len):
+            h = np.tanh(x[:, t, :] @ w_ih.T + h @ w_hh.T + b)
+            hs[t] = h
+        self._x = x
+        self._hidden = hs
+        head = self.clf.head
+        logits = h @ head.weight.data.T
+        if head.bias is not None:
+            logits = logits + head.bias.data
+        return logits
+
+    # ------------------------------------------------------------------
+    def compute_gradients(
+        self, x: np.ndarray, targets: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """BPPSA gradients ``{id(param): grad}`` for one mini-batch."""
+        logits = self.forward(x)
+        self.last_logits = logits
+        grad_logits = softmax_xent_grad(logits, targets)  # (B, C)
+
+        head = self.clf.head
+        h_last = self._hidden[-1]  # (B, H)
+        grads: Dict[int, np.ndarray] = {
+            id(head.weight): grad_logits.T @ h_last,
+        }
+        if head.bias is not None:
+            grads[id(head.bias)] = grad_logits.sum(axis=0)
+
+        grad_h_last = grad_logits @ head.weight.data  # ∇h_T ℓ, (B, H)
+        hidden_grads = self.scan_hidden_grads(grad_h_last)  # (T, B, H)
+
+        rnn = self.clf.rnn
+        param = rnn.parameter_gradients_from_hidden_grads(
+            self._x, self._hidden, hidden_grads
+        )
+        cell = rnn.cell
+        grads[id(cell.weight_ih)] = param["weight_ih"]
+        grads[id(cell.weight_hh)] = param["weight_hh"]
+        grads[id(cell.bias_ih)] = param["bias_ih"]
+        grads[id(cell.bias_hh)] = param["bias_hh"]
+        return grads
+
+    def scan_hidden_grads(self, grad_h_last: np.ndarray) -> np.ndarray:
+        """Run the scan; returns ``∇h_t ℓ`` stacked as (T, B, H)."""
+        seq_len = self._hidden.shape[0]
+        jacs = self.clf.rnn.hidden_jacobians_T(self._hidden)  # (T, B, H, H)
+        items: List = [GradientVector(grad_h_last)]
+        # Array order: T_J(h_T), T_J(h_{T−1}), …, T_J(h_1).
+        for t in range(seq_len - 1, -1, -1):
+            items.append(DenseJacobian(jacs[t]))
+
+        self.context.reset_trace()
+        if self.algorithm == "linear":
+            scanned = linear_scan(items, self.context.op)
+        elif self.algorithm == "hillis_steele":
+            scanned = hillis_steele_scan(items, self.context.op)
+        elif self.algorithm == "truncated":
+            scanned = truncated_blelloch_scan(
+                items, self.context.op, up_levels=self.up_levels
+            )
+        else:
+            scanned = blelloch_scan(items, self.context.op)
+
+        # out[p] = ∇h_{T−p+1} for p = 1..T.
+        batch, hidden = grad_h_last.shape
+        out = np.empty((seq_len, batch, hidden))
+        for p in range(1, seq_len + 1):
+            out[seq_len - p] = scanned[p].data
+        return out
+
+    # ------------------------------------------------------------------
+    def apply_gradients(self, grads: Dict[int, np.ndarray]) -> None:
+        for p in self.clf.parameters():
+            g = grads.get(id(p))
+            if g is not None:
+                p.grad = g.reshape(p.data.shape)

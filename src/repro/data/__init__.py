@@ -1,0 +1,16 @@
+"""Datasets for the paper's benchmarks.
+
+* :class:`BitstreamDataset` — the synthetic bitstream-classification
+  task of Section 4.1 / Eq. 8 / Figure 8, reimplemented verbatim
+  (32000 samples, 10 classes, Bernoulli(0.05 + c·0.1) bits).
+* :class:`SyntheticImages` — the CIFAR-10 *substitute* (no network
+  access in this environment): a learnable 10-class 3×32×32 image
+  distribution exercising the same code paths as the paper's LeNet-5 /
+  VGG-11 experiments.
+"""
+
+from repro.data.bitstream import BitstreamDataset
+from repro.data.synthetic_images import SyntheticImages
+from repro.data.loader import batch_iterator
+
+__all__ = ["BitstreamDataset", "SyntheticImages", "batch_iterator"]

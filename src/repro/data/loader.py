@@ -1,0 +1,30 @@
+"""Mini-batch iteration helpers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+
+def batch_iterator(
+    dataset,
+    batch_size: int,
+    epochs: int = 1,
+    num_batches: int | None = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Chain shuffled epochs of ``dataset.batches`` into one stream.
+
+    ``dataset`` is any object exposing
+    ``batches(batch_size, num_batches, epoch_seed)`` (both datasets in
+    :mod:`repro.data` do); epoch index seeds the shuffle so runs are
+    reproducible yet differently ordered per epoch.
+    """
+    produced = 0
+    for epoch in range(epochs):
+        for batch in dataset.batches(batch_size, epoch_seed=epoch):
+            if num_batches is not None and produced >= num_batches:
+                return
+            produced += 1
+            yield batch

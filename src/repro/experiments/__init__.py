@@ -1,0 +1,30 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Every module exposes ``run(scale=Scale.SMOKE, **overrides) -> dict``
+returning structured results, and prints the paper's rows/series when
+executed as a script (``python -m repro.experiments.fig9_rnn_curve``).
+
+=============  ========================================================
+Module         Paper artifact
+=============  ========================================================
+fig3_pipeline  Fig. 3 pipeline timing diagram + GPipe/PipeDream limits
+fig4_schedule  Fig. 4 Blelloch schedule on VGG-11's conv stack
+table1_sparsity Table 1 guaranteed-zero sparsity + generation speedup
+fig6_patterns  Fig. 6 transposed-Jacobian sparsity patterns
+fig7_convergence Fig. 7 LeNet-5 BP-vs-BPPSA loss curves
+fig8_bitstreams Fig. 8 bitstream dataset examples
+fig9_rnn_curve Fig. 9 RNN loss vs (simulated) wall-clock
+fig10_sensitivity Fig. 10 speedup vs sequence length and batch size
+fig11_flops    Fig. 11 per-step FLOPs, pruned VGG-11 retraining
+table2_devices Table 2 platform catalog
+eq6_complexity Eqs. 6–7 step/work complexity verification
+=============  ========================================================
+
+``SMOKE`` scale finishes in seconds (CI); ``PAPER`` scale matches the
+paper's parameters where feasible on CPU.  Shapes of the reported
+series are scale-invariant; EXPERIMENTS.md records both.
+"""
+
+from repro.experiments.common import Scale
+
+__all__ = ["Scale"]

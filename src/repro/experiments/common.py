@@ -1,0 +1,63 @@
+"""Shared experiment utilities: scales, tables, series rendering."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Sequence
+
+
+class Scale(enum.Enum):
+    """Experiment size presets.
+
+    SMOKE — seconds on a laptop CPU; used by tests and benchmarks.
+    PAPER — the paper's parameters (where CPU-feasible) for final runs.
+    """
+
+    SMOKE = "smoke"
+    PAPER = "paper"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e5 or 0 < abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Coarse ASCII series plot for terminal reports."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    sampled = list(values)[::step][:width]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled)
+
+
+def banner(title: str) -> str:
+    return f"\n=== {title} ===\n"
+
+
+def print_report(title: str, body: str) -> None:
+    print(banner(title) + body)

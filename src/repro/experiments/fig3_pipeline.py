@@ -1,0 +1,94 @@
+"""Figure 3 / Section 2.2 — pipeline-parallelism limits vs. BPPSA.
+
+Reproduces the motivation quantitatively:
+
+* the GPipe timing diagram (Figure 3) and its bubble fraction
+  ``(K−1)/(M+K−1)`` growing with pipeline depth;
+* per-device memory Θ(L/K + K): decreasing then *increasing* in K,
+  versus BPPSA's Θ(max(n/p, 1)) which only decreases (Section 3.6);
+* PipeDream's weight-version count and staleness (the reason BPPSA's
+  exactness matters for stateful optimizers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import Scale, format_table, print_report
+from repro.pipeline import (
+    GPipeSchedule,
+    NaiveModelParallel,
+    PipeDreamSchedule,
+    bppsa_memory,
+    gpipe_bubble_fraction,
+    gpipe_memory,
+)
+
+PARAMS = {
+    Scale.SMOKE: {"num_layers": 64, "devices": [2, 4, 8, 16, 32]},
+    Scale.PAPER: {"num_layers": 1024, "devices": [2, 4, 8, 16, 32, 64, 128, 256]},
+}
+
+
+def run(scale: Scale = Scale.SMOKE) -> Dict:
+    p = PARAMS[scale]
+    layers = p["num_layers"]
+    rows = []
+    for k in p["devices"]:
+        gp = GPipeSchedule(layers, k, num_micro_batches=k)
+        pd = PipeDreamSchedule(k)
+        nv = NaiveModelParallel(layers, k)
+        rows.append(
+            {
+                "devices": k,
+                "naive_util": nv.utilization(),
+                "gpipe_bubble": gp.bubble_fraction(),
+                "gpipe_bubble_closed_form": gpipe_bubble_fraction(k, k),
+                "gpipe_mem": gpipe_memory(layers, k),
+                "bppsa_mem": bppsa_memory(layers, k),
+                "pipedream_versions": pd.max_weight_versions(),
+                "pipedream_stale": pd.stage_stats()[0].forward_staleness,
+                "pipedream_exact": pd.is_gradient_exact(),
+            }
+        )
+    diagram = GPipeSchedule(layers, 4, 4).timing_diagram()
+    return {"rows": rows, "diagram": diagram, "num_layers": layers}
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    r = run(scale)
+    headers = [
+        "K",
+        "naive util",
+        "GPipe bubble",
+        "GPipe mem Θ(L/K+K)",
+        "BPPSA mem Θ(max(n/p,1))",
+        "PD versions",
+        "PD staleness",
+    ]
+    rows = [
+        [
+            x["devices"],
+            x["naive_util"],
+            x["gpipe_bubble"],
+            x["gpipe_mem"],
+            x["bppsa_mem"],
+            x["pipedream_versions"],
+            x["pipedream_stale"],
+        ]
+        for x in r["rows"]
+    ]
+    dia = "\n".join(
+        f"dev{d}: {line}" for d, line in enumerate(r["diagram"])
+    )
+    return (
+        f"GPipe timing diagram (L={r['num_layers']}, K=4, M=4; digits=fwd "
+        "micro-batch, lowercase=bwd, .=idle):\n"
+        + dia
+        + "\n\n"
+        + format_table(headers, rows)
+    )
+
+
+if __name__ == "__main__":
+    print_report("Figure 3 / §2.2: pipeline parallelism limits", report())

@@ -1,0 +1,79 @@
+"""Run every experiment harness and emit a combined report.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale smoke|paper] [--out DIR]
+
+Each artifact's rendered table/series is printed and, with ``--out``,
+written to one text file per artifact — the inputs EXPERIMENTS.md is
+compiled from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+from typing import Dict, List, Tuple
+
+from repro.experiments import (
+    ablation_truncation,
+    eq6_complexity,
+    fig3_pipeline,
+    fig4_schedule,
+    fig6_patterns,
+    fig7_convergence,
+    fig8_bitstreams,
+    fig9_rnn_curve,
+    fig10_sensitivity,
+    fig11_flops,
+    scaling_comparison,
+    table1_sparsity,
+    table2_devices,
+)
+from repro.experiments.common import Scale, banner
+
+ARTIFACTS: List[Tuple[str, object]] = [
+    ("table2_devices", table2_devices),
+    ("fig3_pipeline", fig3_pipeline),
+    ("fig4_schedule", fig4_schedule),
+    ("table1_sparsity", table1_sparsity),
+    ("fig6_patterns", fig6_patterns),
+    ("fig8_bitstreams", fig8_bitstreams),
+    ("eq6_complexity", eq6_complexity),
+    ("scaling_comparison", scaling_comparison),
+    ("fig10_sensitivity", fig10_sensitivity),
+    ("fig11_flops", fig11_flops),
+    ("ablation_truncation", ablation_truncation),
+    ("fig7_convergence", fig7_convergence),
+    ("fig9_rnn_curve", fig9_rnn_curve),
+]
+
+
+def run_all(scale: Scale, out_dir: pathlib.Path | None = None) -> Dict[str, str]:
+    """Run every harness; return {artifact: rendered report}."""
+    reports: Dict[str, str] = {}
+    for name, module in ARTIFACTS:
+        t0 = time.perf_counter()
+        text = module.report(scale)
+        elapsed = time.perf_counter() - t0
+        reports[name] = text
+        print(banner(f"{name} ({elapsed:.1f}s)") + text)
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return reports
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=[s.value for s in Scale], default=Scale.SMOKE.value
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args()
+    run_all(Scale(args.scale), args.out)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Table 1 — guaranteed-zero sparsity and analytical-generation speedup.
+
+Reproduces both halves of the paper's Table 1 for the first
+convolution / ReLU / max-pooling operators of VGG-11 on 32×32 images:
+
+* the *sparsity of guaranteed zeros* — from the closed-form formulas at
+  the paper's exact configuration (no materialization needed), checked
+  against generated matrices at a reduced configuration;
+* the *analytical generation speedup* — wall-clock ratio of the slow
+  baseline (autograd, one column at a time; paper: "through PyTorch's
+  Autograd") over the analytical CSR generators, measured at a reduced
+  configuration (the baseline at full size needs 65536 backward passes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import Scale, format_table, print_report
+from repro.jacobian import (
+    autograd_tjac,
+    conv2d_tjac,
+    conv_guaranteed_sparsity,
+    maxpool_guaranteed_sparsity,
+    maxpool_tjac,
+    relu_guaranteed_sparsity,
+    relu_tjac,
+)
+from repro.tensor import Tensor, ops
+
+# Paper configuration: first VGG-11 operators on 32×32 images.
+PAPER_CONV = {"ci": 3, "co": 64, "hw": (32, 32), "kernel": 3}
+PAPER_RELU = {"c": 64, "h": 32, "w": 32}
+PAPER_POOL = {"ci": 64, "hw": (32, 32), "kernel": 2}
+
+PARAMS = {
+    # reduced configs for the timing half (autograd baseline is O(cols))
+    Scale.SMOKE: {"ci": 2, "co": 4, "hw": (8, 8), "pool_c": 4},
+    Scale.PAPER: {"ci": 3, "co": 8, "hw": (16, 16), "pool_c": 8},
+}
+
+
+def paper_scale_sparsity() -> Dict[str, float]:
+    """Closed-form Table 1 sparsity at the paper's exact configuration."""
+    ci, co = PAPER_CONV["ci"], PAPER_CONV["co"]
+    hi, wi = PAPER_CONV["hw"]
+    conv_nnz = 3 * wi * (3 * hi - 2) * ci * co  # paper CSR layout
+    conv = conv_guaranteed_sparsity(
+        3, (hi, wi), exact_nnz=conv_nnz, ci=ci, co=co
+    )
+    relu = relu_guaranteed_sparsity(PAPER_RELU["c"], PAPER_RELU["h"], PAPER_RELU["w"])
+    pool = maxpool_guaranteed_sparsity(
+        PAPER_POOL["kernel"], PAPER_POOL["ci"], PAPER_POOL["hw"]
+    )
+    return {"conv": conv, "relu": relu, "maxpool": pool}
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+    p = PARAMS[scale]
+    rng = np.random.default_rng(seed)
+    ci, co, (h, w) = p["ci"], p["co"], p["hw"]
+    weight = rng.standard_normal((co, ci, 3, 3))
+    weight_t = Tensor(weight)
+    x_conv = rng.standard_normal((ci, h, w))
+    pc = p["pool_c"]
+    x_pool = rng.standard_normal((pc, h, w))
+    x_relu = rng.standard_normal(pc * h * w)
+
+    # --- measured sparsity at the reduced configuration ----------------
+    conv_m = conv2d_tjac(weight, (h, w), padding=1)
+    pool_m = maxpool_tjac(x_pool, 2)
+    relu_m = relu_tjac(np.abs(x_relu))  # all-positive → structural nnz
+
+    # --- generation timing: analytical vs. column-at-a-time autograd ---
+    t_conv_fast = _time(lambda: conv2d_tjac(weight, (h, w), padding=1))
+    t_conv_slow = _time(
+        lambda: autograd_tjac(
+            lambda t: ops.conv2d(t.reshape(1, ci, h, w), weight_t, None, padding=1),
+            x_conv,
+            as_csr=False,
+        ),
+        repeats=1,
+    )
+    t_relu_fast = _time(lambda: relu_tjac(x_relu))
+    t_relu_slow = _time(
+        lambda: autograd_tjac(lambda t: ops.relu(t), x_relu, as_csr=False),
+        repeats=1,
+    )
+    t_pool_fast = _time(lambda: maxpool_tjac(x_pool, 2))
+    t_pool_slow = _time(
+        lambda: autograd_tjac(
+            lambda t: ops.max_pool2d(t.reshape(1, pc, h, w), 2), x_pool, as_csr=False
+        ),
+        repeats=1,
+    )
+
+    formulas = paper_scale_sparsity()
+    return {
+        "rows": [
+            {
+                "operator": "Convolution",
+                "sparsity_formula_paper_cfg": formulas["conv"],
+                "sparsity_measured_reduced": conv_m.sparsity,
+                "generation_speedup": t_conv_slow / t_conv_fast,
+            },
+            {
+                "operator": "ReLU",
+                "sparsity_formula_paper_cfg": formulas["relu"],
+                "sparsity_measured_reduced": relu_m.sparsity,
+                "generation_speedup": t_relu_slow / t_relu_fast,
+            },
+            {
+                "operator": "Max-pooling",
+                "sparsity_formula_paper_cfg": formulas["maxpool"],
+                "sparsity_measured_reduced": pool_m.sparsity,
+                "generation_speedup": t_pool_slow / t_pool_fast,
+            },
+        ],
+        "reduced_config": p,
+    }
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    r = run(scale)
+    headers = [
+        "Operator",
+        "Sparsity (paper cfg, formula)",
+        "Sparsity (reduced, measured)",
+        "Analytical generation speedup",
+    ]
+    rows = [
+        [
+            x["operator"],
+            x["sparsity_formula_paper_cfg"],
+            x["sparsity_measured_reduced"],
+            f"{x['generation_speedup']:.1f}x",
+        ]
+        for x in r["rows"]
+    ]
+    note = (
+        "\npaper: conv 0.99157 (8.3e3x), ReLU 0.99998 (1.2e6x), "
+        "max-pool 0.99994 (1.5e5x); speedups measured at reduced config "
+        f"{r['reduced_config']}"
+    )
+    return format_table(headers, rows) + note
+
+
+if __name__ == "__main__":
+    print_report("Table 1: sparsity of guaranteed zeros", report())

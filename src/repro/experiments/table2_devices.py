@@ -1,0 +1,33 @@
+"""Table 2 — experiment-platform specifications (device catalog)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import Scale, format_table, print_report
+from repro.pram import DEVICE_CATALOG
+
+
+def run(scale: Scale = Scale.SMOKE) -> Dict:
+    """Return the device catalog as Table 2 rows."""
+    keys = ["CUDA", "cuDNN", "PyTorch", "CPU", "Host Memory", "Linux Kernel"]
+    rows = []
+    for dev in DEVICE_CATALOG.values():
+        rows.append(
+            {
+                "GPU": dev.name,
+                "Number of SMs": dev.num_sms,
+                **{k: dev.meta.get(k, "-") for k in keys},
+            }
+        )
+    return {"rows": rows}
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    rows = run(scale)["rows"]
+    headers = list(rows[0].keys())
+    return format_table(headers, [[r[h] for h in headers] for r in rows])
+
+
+if __name__ == "__main__":
+    print_report("Table 2: platform specifications (simulated devices)", report())

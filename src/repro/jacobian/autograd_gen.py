@@ -1,0 +1,44 @@
+"""Column-at-a-time Jacobian generation — Table 1's slow baseline.
+
+The paper measures its analytical CSR generators against "generating
+the transposed Jacobian through PyTorch's Autograd one column at a
+time" (Table 1, last column).  This module reproduces that baseline on
+our tape: each backward pass with a one-hot seed on the operator output
+yields one column of the transposed Jacobian.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+from repro.tensor import Tensor
+
+
+def autograd_tjac(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    as_csr: bool = True,
+):
+    """Transposed Jacobian of ``fn`` at ``x`` via repeated backward passes.
+
+    ``fn`` maps a single-sample tensor to a single-sample tensor; the
+    result has shape ``(x.size, fn(x).size)``.  Deliberately O(output
+    size) backward passes — this is the baseline whose cost Table 1
+    reports a 10³–10⁶× improvement over.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    probe = Tensor(x, requires_grad=True)
+    y = fn(probe)
+    m = y.data.size
+    tjac = np.empty((x.size, m), dtype=np.float64)
+    for col in range(m):
+        probe = Tensor(x, requires_grad=True)
+        y = fn(probe)
+        seed = np.zeros(y.data.shape)
+        seed.reshape(-1)[col] = 1.0
+        y.backward(seed)
+        tjac[:, col] = probe.grad.reshape(-1)
+    return CSRMatrix.from_dense(tjac) if as_csr else tjac

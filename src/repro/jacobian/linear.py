@@ -1,0 +1,28 @@
+"""Transposed Jacobian of affine layers.
+
+For ``y = W x + b`` (our :class:`~repro.nn.layers.Linear` computes
+``x @ W^T + b`` per row, i.e. ``y = W x`` per sample) the Jacobian
+w.r.t. ``x`` is simply ``W``, so the transposed Jacobian is ``W^T`` —
+dense in general, but returned in CSR as well for pruned networks,
+where magnitude pruning makes ``W`` itself sparse (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+
+
+def linear_tjac(weight: np.ndarray) -> np.ndarray:
+    """Dense transposed Jacobian ``W^T`` of shape (in, out)."""
+    return np.asarray(weight).T.copy()
+
+
+def linear_tjac_csr(weight: np.ndarray, tol: float = 0.0) -> CSRMatrix:
+    """CSR transposed Jacobian, dropping entries with ``|w| <= tol``.
+
+    With a pruned weight matrix this is genuinely sparse, which is what
+    makes retraining pruned networks a good BPPSA use case (Figure 11).
+    """
+    return CSRMatrix.from_dense(np.asarray(weight).T, tol=tol)

@@ -1,0 +1,56 @@
+"""Transposed Jacobians of elementwise operators (diagonal matrices).
+
+For an elementwise ``y_i = g(x_i)`` the Jacobian is ``diag(g'(x_i))``;
+everything off the diagonal is a *guaranteed zero* (input-independent),
+while on-diagonal entries may be *possible zeros* (e.g. ReLU on a
+negative input) — exactly the distinction the paper draws in
+Section 3.3.  The generators keep the full diagonal as the structural
+pattern (so it is deterministic and plan-cacheable) and put the
+possibly-zero values in ``data``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse import CSRMatrix, csr_from_diagonal
+
+
+def relu_tjac(x_flat: np.ndarray) -> CSRMatrix:
+    """diag(1[x > 0]) for a single flattened sample."""
+    x_flat = np.asarray(x_flat).reshape(-1)
+    return csr_from_diagonal((x_flat > 0).astype(np.float64))
+
+
+def relu_tjac_batched(x: np.ndarray) -> Tuple[CSRMatrix, np.ndarray]:
+    """Batched ReLU Jacobian: shared diagonal pattern + per-sample data.
+
+    ``x``: (B, d) (flatten trailing dims first).  Returns
+    ``(pattern, data)`` with ``data`` of shape (B, d).
+    """
+    x = np.asarray(x)
+    x2 = x.reshape(x.shape[0], -1)
+    pattern = csr_from_diagonal(np.ones(x2.shape[1]))
+    return pattern, (x2 > 0).astype(np.float64)
+
+
+def tanh_tjac(y_flat: np.ndarray) -> CSRMatrix:
+    """diag(1 − y²) where ``y = tanh(x)`` is the layer *output*."""
+    y_flat = np.asarray(y_flat).reshape(-1)
+    return csr_from_diagonal(1.0 - y_flat**2)
+
+
+def tanh_tjac_batched(y: np.ndarray) -> Tuple[CSRMatrix, np.ndarray]:
+    """Batched tanh Jacobian from outputs ``y``: (B, d)."""
+    y = np.asarray(y)
+    y2 = y.reshape(y.shape[0], -1)
+    pattern = csr_from_diagonal(np.ones(y2.shape[1]))
+    return pattern, 1.0 - y2**2
+
+
+def sigmoid_tjac(y_flat: np.ndarray) -> CSRMatrix:
+    """diag(y·(1 − y)) where ``y = σ(x)`` is the layer output."""
+    y_flat = np.asarray(y_flat).reshape(-1)
+    return csr_from_diagonal(y_flat * (1.0 - y_flat))

@@ -1,0 +1,102 @@
+"""Transposed Jacobians of pooling operators.
+
+Max-pooling is a (data-dependent) selection: output ``(c, p, q)`` copies
+the maximal input of its window, so column ``(c, p, q)`` of the
+transposed Jacobian has a single 1 at the argmax row.  The *structural*
+pattern — which (input, window) pairs can ever be nonzero — is
+input-independent: an input cell can only feed the windows that contain
+it.  We store that full membership pattern (deterministic, cacheable)
+and set data to 1 at argmax entries, 0 elsewhere, preserving the
+paper's guaranteed-zero / possible-zero split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sparse import CSRMatrix, coo_to_csr_with_perm
+
+
+def _pool_structure(
+    c: int, hi: int, wi: int, kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """COO membership structure of pooling windows.
+
+    Returns (rows, cols, window_slot, ho, wo) where ``window_slot``
+    numbers the entries of each window 0..k²−1 in scan order, used to
+    match argmax results.
+    """
+    ho = (hi - kernel) // stride + 1
+    wo = (wi - kernel) // stride + 1
+    u = np.arange(kernel)[:, None, None, None]
+    v = np.arange(kernel)[None, :, None, None]
+    p = np.arange(ho)[None, None, :, None]
+    q = np.arange(wo)[None, None, None, :]
+    i = p * stride + u
+    j = q * stride + v
+    i, j, p_b, q_b, u_b, v_b = np.broadcast_arrays(i, j, p, q, u, v)
+    # channel-major tiling
+    n_spatial = i.size
+    ch = np.repeat(np.arange(c), n_spatial)
+    rows = ch * (hi * wi) + np.tile((i * wi + j).reshape(-1), c)
+    cols = ch * (ho * wo) + np.tile((p_b * wo + q_b).reshape(-1), c)
+    slot = np.tile((u_b * kernel + v_b).reshape(-1), c)
+    return rows, cols, slot, ho, wo
+
+
+def maxpool_tjac_batched(
+    x: np.ndarray, kernel: int, stride: Optional[int] = None
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Batched max-pool transposed Jacobian.
+
+    ``x``: (B, C, H, W).  Returns ``(pattern, data)`` with pattern of
+    shape (C·H·W, C·Ho·Wo) and data (B, nnz); ties are broken toward the
+    first element in window scan order (NumPy ``argmax`` semantics,
+    matching the forward op in :mod:`repro.tensor.ops`).
+    """
+    stride = stride if stride is not None else kernel
+    x = np.asarray(x)
+    batch, c, hi, wi = x.shape
+    rows, cols, slot, ho, wo = _pool_structure(c, hi, wi, kernel, stride)
+    pattern, perm = coo_to_csr_with_perm(
+        rows, cols, (c * hi * wi, c * ho * wo)
+    )
+
+    # Window contents: (B, C, Ho, Wo, k, k) gathered vectorized.
+    p = np.arange(ho)[:, None, None, None]
+    q = np.arange(wo)[None, :, None, None]
+    u = np.arange(kernel)[None, None, :, None]
+    v = np.arange(kernel)[None, None, None, :]
+    windows = x[:, :, p * stride + u, q * stride + v]  # (B, C, Ho, Wo, k, k)
+    flat = windows.reshape(batch, c, ho * wo, kernel * kernel)
+    argmax = flat.argmax(axis=-1)  # (B, C, Ho*Wo)
+
+    # data entry e (pre-permutation, ordered (c, u, v, p, q)) is 1 iff
+    # slot[e] == argmax of its window.
+    win_of_entry = cols % (ho * wo)
+    ch_of_entry = cols // (ho * wo)
+    selected = (
+        argmax[:, ch_of_entry, win_of_entry] == slot[None, :]
+    ).astype(np.float64)
+    return pattern, selected[:, perm]
+
+
+def maxpool_tjac(
+    x_sample: np.ndarray, kernel: int, stride: Optional[int] = None
+) -> CSRMatrix:
+    """Single-sample max-pool transposed Jacobian (possible zeros kept)."""
+    pattern, data = maxpool_tjac_batched(x_sample[None], kernel, stride)
+    return pattern.with_data(data[0])
+
+
+def avgpool_tjac(
+    c: int, hi: int, wi: int, kernel: int, stride: Optional[int] = None
+) -> CSRMatrix:
+    """Average-pool transposed Jacobian (input-independent, value 1/k²)."""
+    stride = stride if stride is not None else kernel
+    rows, cols, _, ho, wo = _pool_structure(c, hi, wi, kernel, stride)
+    pattern, perm = coo_to_csr_with_perm(rows, cols, (c * hi * wi, c * ho * wo))
+    vals = np.full(len(rows), 1.0 / (kernel * kernel))
+    return pattern.with_data(vals[perm])

@@ -1,0 +1,56 @@
+"""Guaranteed-zero sparsity formulas — paper Table 1.
+
+Each formula gives the fraction of *guaranteed zeros* (input-invariant
+zeros; Section 3.3) over all elements of the operator's transposed
+Jacobian:
+
+=============  =========================================
+Convolution    ``1 − (hf·wf·B(h,w,pad)) / (hi·wi)`` — the paper quotes
+               the interior approximation ``1 − hf·wf/(hi·wi)``
+ReLU           ``1 − 1/(c·h·w)``
+Max-pooling    ``1 − hf·wf/(ci·hi·wi)``
+=============  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def conv_guaranteed_sparsity(
+    kernel: int,
+    input_hw: Tuple[int, int],
+    exact_nnz: int | None = None,
+    ci: int = 1,
+    co: int = 1,
+) -> float:
+    """Sparsity of a stride-1 padded convolution's transposed Jacobian.
+
+    With ``exact_nnz`` (e.g. from a generated matrix) the exact fraction
+    is returned; otherwise the paper's interior approximation
+    ``1 − hf·wf/(hi·wi)`` (valid when ``hi, wi ≫ padding``).
+    """
+    hi, wi = input_hw
+    if exact_nnz is not None:
+        total = (ci * hi * wi) * (co * hi * wi)
+        return 1.0 - exact_nnz / total
+    return 1.0 - (kernel * kernel) / (hi * wi)
+
+
+def relu_guaranteed_sparsity(c: int, h: int, w: int) -> float:
+    """``1 − 1/(c·h·w)`` — only the diagonal can be nonzero."""
+    n = c * h * w
+    return 1.0 - 1.0 / n
+
+
+def maxpool_guaranteed_sparsity(
+    kernel: int, ci: int, input_hw: Tuple[int, int]
+) -> float:
+    """``1 − hf·wf/(ci·hi·wi)`` for non-overlapping pooling.
+
+    Derivation: each output column holds at most ``hf·wf`` candidate
+    rows out of ``ci·hi·wi`` — equivalently each input belongs to one
+    window, giving density ``1/(co·ho·wo) = hf·wf/(ci·hi·wi)``.
+    """
+    hi, wi = input_hw
+    return 1.0 - (kernel * kernel) / (ci * hi * wi)

@@ -1,0 +1,75 @@
+"""Weight initializers (Glorot/Xavier, Kaiming/He, orthogonal).
+
+The paper's experiments rely on standard initializations via PyTorch
+defaults; we reproduce the common schemes so that convergence behaviour
+(Figures 7 and 9) is comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in/fan-out for dense (out, in) or conv (co, ci, kh, kw) shapes."""
+    if len(shape) < 2:
+        raise ValueError(f"need at least 2-D weights, got shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initialization."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    a: float = math.sqrt(5.0),
+) -> np.ndarray:
+    """He et al. (2015) uniform initialization (PyTorch's conv default)."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_fan_in_bias(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Orthogonal initialization (Saxe et al., 2014), good for RNNs."""
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))  # make deterministic up to rng
+    q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
+    return gain * q
+
+
+def default_rng(seed: Optional[int]) -> np.random.Generator:
+    """Central RNG construction so experiments can seed everything."""
+    return np.random.default_rng(seed)

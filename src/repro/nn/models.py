@@ -1,0 +1,178 @@
+"""Reference models used throughout the paper.
+
+* :class:`LeNet5` — the convergence study (Figure 7) trains LeNet-5 on
+  CIFAR-10 with SGD(lr=1e-3, momentum=0.9), batch 256.
+* :class:`VGG11` — the sparsity analysis (Table 1, Figure 6) and the
+  pruning micro-benchmark (Section 4.2, Figure 11) use VGG-11 on 32×32
+  inputs; :func:`vgg11_conv_stack` exposes the 8-convolution stack the
+  paper's Figure 4 scan schedule is drawn for.
+* :func:`make_mlp` — small MLPs for tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+)
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+
+
+class LeNet5(Module):
+    """LeNet-5 (LeCun et al., 1998), adapted for 3×32×32 inputs.
+
+    Layout (matching the classic CIFAR adaptation): two 5×5 conv +
+    max-pool stages, then three fully connected layers.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        width_multiplier: float = 1.0,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        c1 = max(1, int(6 * width_multiplier))
+        c2 = max(1, int(16 * width_multiplier))
+        f1 = max(4, int(120 * width_multiplier))
+        f2 = max(4, int(84 * width_multiplier))
+        self.features = Sequential(
+            Conv2d(in_channels, c1, 5, rng=rng),
+            Tanh(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, 5, rng=rng),
+            Tanh(),
+            MaxPool2d(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(c2 * 5 * 5, f1, rng=rng),
+            Tanh(),
+            Linear(f1, f2, rng=rng),
+            Tanh(),
+            Linear(f2, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+# VGG-11 configuration ("A" in Simonyan & Zisserman, 2015):
+# conv channel sizes with 'M' marking 2×2 max-pool positions.
+VGG11_CFG: Tuple = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M")
+
+
+class VGG11(Module):
+    """VGG-11 for 32×32 images (CIFAR-10 variant).
+
+    ``width_multiplier`` scales channel counts so tests can exercise the
+    same topology at a fraction of the cost.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        width_multiplier: float = 1.0,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        layers: List[Module] = []
+        channels = in_channels
+        for item in VGG11_CFG:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+            else:
+                out = max(1, int(int(item) * width_multiplier))
+                layers.append(Conv2d(channels, out, 3, padding=1, rng=rng))
+                layers.append(ReLU())
+                channels = out
+        self.features = Sequential(*layers)
+        # After five 2× pools a 32×32 input is 1×1 spatially.
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(channels, max(4, int(512 * width_multiplier)), rng=rng),
+            ReLU(),
+            Linear(max(4, int(512 * width_multiplier)), num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg11_conv_shapes(
+    input_hw: Tuple[int, int] = (32, 32), in_channels: int = 3
+) -> List[dict]:
+    """Shape metadata for the 8 convolutions of VGG-11 on ``input_hw``.
+
+    Returns one record per conv with input/output channel counts and
+    spatial sizes — the data Table 1's sparsity formulas and Figure 4's
+    scan schedule are computed from.
+    """
+    h, w = input_hw
+    channels = in_channels
+    records: List[dict] = []
+    for item in VGG11_CFG:
+        if item == "M":
+            h, w = h // 2, w // 2
+        else:
+            records.append(
+                {
+                    "ci": channels,
+                    "co": int(item),
+                    "hi": h,
+                    "wi": w,
+                    "ho": h,  # 3×3, pad 1, stride 1 preserves spatial size
+                    "wo": w,
+                    "kernel": 3,
+                }
+            )
+            channels = int(item)
+    return records
+
+
+def vgg11_conv_stack(
+    rng: Optional[np.random.Generator] = None,
+    width_multiplier: float = 1.0,
+    in_channels: int = 3,
+) -> Sequential:
+    """The 8 convolution layers of VGG-11 (with interleaved pools/ReLUs).
+
+    This is the n=8 stage pipeline Figure 4 applies the modified
+    Blelloch scan to.
+    """
+    model = VGG11(
+        rng=rng, width_multiplier=width_multiplier, in_channels=in_channels
+    )
+    return model.features
+
+
+def make_mlp(
+    sizes: Sequence[int],
+    activation: str = "tanh",
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Fully connected network: ``sizes[0] → ... → sizes[-1]``."""
+    rng = rng if rng is not None else np.random.default_rng()
+    acts = {"tanh": Tanh, "relu": ReLU}
+    if activation not in acts:
+        raise ValueError(f"unknown activation {activation!r}")
+    layers: List[Module] = []
+    for i in range(len(sizes) - 1):
+        layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+        if i < len(sizes) - 2:
+            layers.append(acts[activation]())
+    return Sequential(*layers)

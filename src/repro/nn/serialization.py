@@ -1,0 +1,37 @@
+"""Checkpointing: save/load model state as ``.npz`` archives.
+
+Supports the pruning workflow (train → prune → checkpoint → retrain
+with BPPSA) without any pickle dependence — keys are the dotted
+parameter names from :meth:`Module.named_parameters`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_checkpoint(model: Module, path: PathLike) -> None:
+    """Write all parameters to ``path`` (``.npz`` appended if missing)."""
+    state = model.state_dict()
+    np.savez(str(path), **state)
+
+
+def load_checkpoint(model: Module, path: PathLike) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Raises ``KeyError``/``ValueError`` on name or shape mismatches (via
+    :meth:`Module.load_state_dict`), so silently loading a checkpoint
+    into the wrong architecture is impossible.
+    """
+    path = str(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    with np.load(path) as archive:
+        model.load_state_dict({k: archive[k] for k in archive.files})

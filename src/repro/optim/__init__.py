@@ -1,0 +1,14 @@
+"""First-order optimizers.
+
+The paper stresses that BPPSA is *agnostic to the optimizer* because it
+reconstructs exact gradients (unlike pipeline-parallel staleness, which
+breaks e.g. Adam's momenta — Section 2.2).  Both optimizers the paper
+uses are provided: SGD with momentum (LeNet-5 experiment) and Adam
+(RNN experiment).
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+
+__all__ = ["Optimizer", "SGD", "Adam"]

@@ -1,0 +1,47 @@
+"""Optimizer base class.
+
+Optimizers accept gradients from *either* gradient engine — the taped
+baseline BP or BPPSA — by reading ``param.grad`` or an explicit
+gradient mapping, which is how the convergence experiments swap
+algorithms without touching the training loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self, grads: Optional[Dict[int, np.ndarray]] = None) -> None:
+        """Apply one update.
+
+        Parameters
+        ----------
+        grads:
+            Optional explicit mapping ``id(param) -> gradient``.  When
+            omitted, ``param.grad`` is used (taped backward).  Allows
+            BPPSA to drive the identical update rule.
+        """
+        raise NotImplementedError
+
+    def _grad_for(
+        self, param: Parameter, grads: Optional[Dict[int, np.ndarray]]
+    ) -> Optional[np.ndarray]:
+        if grads is not None:
+            return grads.get(id(param))
+        return param.grad

@@ -1,0 +1,53 @@
+"""Stochastic gradient descent with classical momentum (Qian, 1999).
+
+Matches the paper's LeNet-5 convergence experiment configuration
+(lr = 0.001, momentum = 0.9) and PyTorch's SGD update form::
+
+    v ← μ·v + g
+    θ ← θ − lr·v
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"invalid momentum {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self, grads: Optional[Dict[int, np.ndarray]] = None) -> None:
+        for p in self.params:
+            g = self._grad_for(p, grads)
+            if g is None:
+                continue
+            g = np.asarray(g)
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                v = g.copy() if v is None else self.momentum * v + g
+                self._velocity[id(p)] = v
+                update = v
+            else:
+                update = g
+            p.data = p.data - self.lr * update

@@ -1,0 +1,33 @@
+"""Pipeline-parallelism baselines (paper Sections 2.2 and 3.6).
+
+The paper motivates BPPSA by the scalability limits of the prior art:
+
+* **naïve model parallelism** — at most one device busy at a time;
+* **GPipe** (Huang et al., 2018) — synchronous micro-batch pipelining
+  whose "bubble of idleness" grows with pipeline depth and whose
+  per-device space is Θ(L/K + K) even with re-materialization;
+* **PipeDream** (Narayanan et al., 2019) — asynchronous 1F1B pipelining
+  that trades the bubble for weight staleness and multiple weight
+  versions.
+
+This package implements discrete-time simulators for all three so the
+motivation claims (Figure 3's timing diagram, the Θ(L/K + K) memory
+growth, the bubble fraction, staleness counts) are reproducible and the
+space-complexity comparison of Section 3.6 can be computed rather than
+asserted.
+"""
+
+from repro.pipeline.gpipe import GPipeSchedule, gpipe_bubble_fraction, gpipe_memory
+from repro.pipeline.pipedream import PipeDreamSchedule
+from repro.pipeline.naive import NaiveModelParallel
+from repro.pipeline.memory import bppsa_memory, pipeline_memory_sweep
+
+__all__ = [
+    "GPipeSchedule",
+    "gpipe_bubble_fraction",
+    "gpipe_memory",
+    "PipeDreamSchedule",
+    "NaiveModelParallel",
+    "bppsa_memory",
+    "pipeline_memory_sweep",
+]

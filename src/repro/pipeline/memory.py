@@ -1,0 +1,46 @@
+"""Space-complexity comparison: pipeline parallelism vs. BPPSA.
+
+Paper Section 3.6: per worker, BPPSA needs
+``M_Blelloch(n) = Θ(max(n/p, 1)) · M_Jacob`` — *decreasing* in p down to
+a constant — while pipeline parallelism needs
+``M_pipeline = Θ(n/p + p) · M_x`` — eventually *increasing* in p.  This
+is the paper's argument that BPPSA's scalability is not limited by a
+single device's memory capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.pipeline.gpipe import gpipe_memory
+
+
+def bppsa_memory(num_stages: int, num_workers: int, jacobian_units: float = 1.0) -> float:
+    """Θ(max(n/p, 1)) · M_Jacob per worker (paper Section 3.6)."""
+    return max(num_stages / num_workers, 1.0) * jacobian_units
+
+
+def pipeline_memory_sweep(
+    num_stages: int,
+    workers: List[int],
+    jacobian_units: float = 1.0,
+    activation_units: float = 1.0,
+) -> List[Dict[str, float]]:
+    """Per-device memory of GPipe vs. BPPSA across worker counts.
+
+    Returns one record per p with both models' footprints; the
+    crossover (pipeline growing while BPPSA shrinks to a constant) is
+    the quantity of interest.
+    """
+    rows = []
+    for p in workers:
+        rows.append(
+            {
+                "workers": p,
+                "gpipe": gpipe_memory(num_stages, p) * activation_units
+                if num_stages >= p
+                else float("nan"),
+                "bppsa": bppsa_memory(num_stages, p, jacobian_units),
+            }
+        )
+    return rows

@@ -1,0 +1,63 @@
+"""PipeDream-style asynchronous 1F1B pipeline simulator.
+
+Narayanan et al. (2019) keep every device busy by interleaving one
+forward and one backward micro-batch per steady-state cycle (1F1B), at
+the cost of *weight staleness*: stage ``k`` runs forward with weights
+that are several updates behind, and must retain one weight version per
+in-flight micro-batch.  The paper (Section 2.2) argues this breaks
+optimizers with state (e.g. Adam) — which BPPSA avoids by computing
+exact gradients.
+
+The simulator tracks, per stage: weight versions retained, the
+staleness (in updates) of the weights each micro-batch sees, and
+steady-state utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class StageStats:
+    stage: int
+    weight_versions: int
+    forward_staleness: int  # updates behind at forward time (steady state)
+
+
+class PipeDreamSchedule:
+    """Steady-state 1F1B analysis for a K-stage pipeline."""
+
+    def __init__(self, num_devices: int):
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        self.K = num_devices
+
+    def stage_stats(self) -> List[StageStats]:
+        """Per-stage weight-version and staleness counts.
+
+        In steady state stage ``k`` (0-based) has ``K − k`` micro-batches
+        in flight between its forward and the corresponding backward, so
+        it keeps ``K − k`` weight versions and its forward runs
+        ``K − k − 1`` updates stale (stage K−1 is never stale).
+        """
+        return [
+            StageStats(
+                stage=k,
+                weight_versions=self.K - k,
+                forward_staleness=self.K - k - 1,
+            )
+            for k in range(self.K)
+        ]
+
+    def max_weight_versions(self) -> int:
+        return self.K
+
+    def steady_state_utilization(self) -> float:
+        """1F1B keeps all devices busy in steady state (no bubble)."""
+        return 1.0
+
+    def is_gradient_exact(self) -> bool:
+        """Staleness makes gradients inexact for K > 1 — unlike BPPSA."""
+        return self.K == 1

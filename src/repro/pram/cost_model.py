@@ -1,0 +1,85 @@
+"""Cost model mapping ⊙ tasks and kernel levels to simulated seconds."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pram.device import DeviceSpec
+
+
+class GPUCostModel:
+    """Seconds for block-level tasks and level-synchronous kernels.
+
+    One ⊙ application occupies one thread block (paper Section 4.1:
+    "Each thread block is responsible for the ⊙ operation of two
+    matrices"), so at most ``device.concurrent_blocks`` tasks run at
+    once; a level of ``n`` equal-cost tasks therefore takes
+    ``⌈n / blocks⌉`` *waves*.
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def op_seconds(self, flops: int) -> float:
+        """Duration of one ⊙ task executed by a single block."""
+        return max(flops / self.device.block_flops, self.device.min_op_seconds)
+
+    def level_seconds(self, op_flops: Sequence[int], total_tasks: int) -> float:
+        """Duration of one scan level launched as a single kernel.
+
+        ``op_flops`` are the distinct task costs in the level (for
+        uniform levels pass one entry); ``total_tasks`` is the number of
+        tasks including any batch replication.  Uniform-cost levels use
+        the closed form; heterogeneous levels are handled by the
+        machine's LPT scheduler instead.
+        """
+        if total_tasks <= 0:
+            return self.device.kernel_launch_overhead
+        per_op = max(self.op_seconds(f) for f in op_flops)
+        waves = -(-total_tasks // self.device.concurrent_blocks)  # ceil
+        return waves * per_op + self.device.kernel_launch_overhead
+
+    # ------------------------------------------------------------------
+    def dense_kernel_seconds(self, flops: int, latency: float) -> float:
+        """A monolithic batched kernel (the cuDNN-style baseline path)."""
+        return max(flops / self.device.peak_flops, latency)
+
+    def baseline_rnn_backward_seconds(
+        self, seq_len: int, batch: int, hidden: int
+    ) -> float:
+        """cuDNN-style sequential RNN backward: T dependent time-steps.
+
+        Each step computes the batched matrix–vector product
+        ``(∂h_{t+1}/∂h_t)^T ∇h_{t+1}`` plus pointwise work, fully
+        parallel across the batch and hidden dimensions but strictly
+        sequential along t (Eq. 3's dependency).
+        """
+        flops_per_step = batch * (2 * hidden * hidden + 4 * hidden)
+        step = self.dense_kernel_seconds(
+            flops_per_step, self.device.baseline_step_seconds
+        )
+        return seq_len * step
+
+    def rnn_forward_seconds(
+        self, seq_len: int, batch: int, hidden: int, input_size: int = 1
+    ) -> float:
+        """Forward pass (identical for baseline and BPPSA training)."""
+        flops_per_step = batch * (
+            2 * hidden * hidden + 2 * hidden * input_size + 4 * hidden
+        )
+        step = self.dense_kernel_seconds(
+            flops_per_step, self.device.forward_step_seconds
+        )
+        return seq_len * step
+
+    def jacobian_prep_seconds(self, seq_len: int, batch: int, hidden: int) -> float:
+        """Generating the (T, B, H, H) transposed Jacobians.
+
+        One elementwise scaling of W_hh^T per (t, sample) — a large,
+        fully parallel kernel; counted into BPPSA's backward time as the
+        paper does ("including the overhead of preparing the input
+        transposed Jacobian matrices", Section 5.1).
+        """
+        flops = seq_len * batch * hidden * hidden
+        return self.dense_kernel_seconds(flops, self.device.baseline_step_seconds)

@@ -1,0 +1,101 @@
+"""Device catalog modelled on the paper's Table 2 platforms.
+
+The parameters are deliberately coarse — the simulator's job is to
+reproduce *relative* behaviour (speedup curves vs. T and B, device
+ordering), not absolute microseconds.  ``num_sms`` values are the real
+Turing specifications the paper quotes; throughput/latency constants
+are calibrated so that the T=1000, B=16 configuration lands near the
+paper's measured 4.5× backward / 2.2× overall speedup on the RTX 2070
+(Figure 9) and preserves the Figure 10 orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A massively parallel device in the PRAM abstraction.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors (paper Table 2: 36 / 68).
+    blocks_per_sm:
+        Thread blocks resident per SM for the scan kernels; together
+        with ``num_sms`` this bounds the number of concurrently
+        executing ⊙ operations (one block per ⊙, as in the paper's
+        implementation, Section 4.1).
+    block_flops:
+        Effective FLOP/s of a single block on small-matrix products
+        (latency/memory-bound, far below peak).
+    peak_flops:
+        Whole-device throughput for large batched kernels (the cuDNN
+        baseline path).
+    kernel_launch_overhead:
+        Seconds per kernel launch; the scan launches one kernel per
+        level (Section 4.1: "Each level … requires a single CUDA kernel
+        launch").
+    baseline_step_seconds:
+        Latency floor of one cuDNN RNN backward time-step.
+    min_op_seconds:
+        Latency floor of a single block-level ⊙ task.
+    meta:
+        Table 2 string fields (CPU, memory, software versions).
+    """
+
+    name: str
+    num_sms: int
+    blocks_per_sm: int = 24
+    block_flops: float = 2.0e9
+    peak_flops: float = 6.5e12
+    kernel_launch_overhead: float = 3.0e-6
+    baseline_step_seconds: float = 5.1e-6
+    forward_step_seconds: float = 2.3e-6
+    min_op_seconds: float = 2.2e-5
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def concurrent_blocks(self) -> int:
+        """Upper bound on simultaneously executing ⊙ tasks."""
+        return self.num_sms * self.blocks_per_sm
+
+    def effective_workers(self, batch_size: int) -> int:
+        """Workers available *per sample* — the paper's p = threads / B."""
+        return max(1, self.concurrent_blocks // max(1, batch_size))
+
+
+RTX_2070 = DeviceSpec(
+    name="RTX 2070",
+    num_sms=36,
+    peak_flops=6.5e12,
+    meta={
+        "CUDA": "10.0.130",
+        "cuDNN": "7.5.1",
+        "PyTorch": "1.1.0",
+        "CPU": "Ryzen Threadripper 1950X",
+        "Host Memory": "32GB, 2400MHz",
+        "Linux Kernel": "4.15.0-55",
+    },
+)
+
+RTX_2080TI = DeviceSpec(
+    name="RTX 2080Ti",
+    num_sms=68,
+    peak_flops=12.4e12,
+    meta={
+        "CUDA": "10.0.130",
+        "cuDNN": "7.6.2",
+        "PyTorch": "1.2.0",
+        "CPU": "EPYC 7601",
+        "Host Memory": "128GB, 2133MHz",
+        "Linux Kernel": "4.4.0-142",
+    },
+)
+
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {
+    RTX_2070.name: RTX_2070,
+    RTX_2080TI.name: RTX_2080TI,
+}

@@ -1,0 +1,17 @@
+"""Magnitude pruning and masked retraining (paper Section 4.2).
+
+The pruned-VGG-11 micro-benchmark prunes 97 % of all convolution and
+linear weights with the magnitude criterion of See et al. (2016), then
+*retrains* — the phase BPPSA accelerates, because pruned filters make
+the convolutions' transposed Jacobians sparser (their values depend
+only on filter weights, Algorithm 4).
+"""
+
+from repro.pruning.magnitude import (
+    MaskSet,
+    apply_masks,
+    magnitude_prune,
+    model_sparsity,
+)
+
+__all__ = ["MaskSet", "magnitude_prune", "apply_masks", "model_sparsity"]

@@ -1,0 +1,73 @@
+"""The scan framework — BPPSA's core (paper Sections 2.3 and 3).
+
+Back-propagation's recurrence is recast as an **exclusive scan** of the
+binary, associative, *non-commutative* operator ``A ⊙ B = B·A`` over
+
+    [∇x_n ℓ, (∂x_n/∂x_{n−1})^T, ..., (∂x_1/∂x_0)^T]     (Eq. 5)
+
+producing ``[I, ∇x_n ℓ, ..., ∇x_1 ℓ]``.  This package provides:
+
+* typed scan elements (identity / gradient vector / dense / CSR
+  Jacobians, batched across samples) and a :class:`ScanContext` that
+  evaluates ⊙ with FLOP accounting and SpGEMM plan caching;
+* :func:`linear_scan` — the serial baseline (equivalent to BP);
+* :func:`blelloch_scan` — the paper's modified Blelloch scan
+  (Algorithm 1: operand order reversed in the down-sweep);
+* :func:`hillis_steele_scan` — the step-optimal alternative scan;
+* :func:`truncated_blelloch_scan` — Section 5.2's balanced variant
+  (up-sweep only to level k, serial matrix–vector middle, down-sweep
+  from level k), used by the pruned-VGG-11 benchmark;
+* a scan-DAG builder for the PRAM simulator (Figure 4's schedule).
+"""
+
+from repro.scan.elements import (
+    DenseJacobian,
+    GradientVector,
+    Identity,
+    IDENTITY,
+    OpInfo,
+    ScanContext,
+    SparseJacobian,
+    StepRecord,
+)
+from repro.scan.algorithms import (
+    blelloch_scan,
+    blelloch_num_levels,
+    hillis_steele_scan,
+    linear_scan,
+    simple_op,
+    truncated_blelloch_scan,
+)
+from repro.scan.parallel import ParallelScanExecutor
+from repro.scan.dag import (
+    ScanDAG,
+    TaskNode,
+    build_blelloch_dag,
+    build_linear_dag,
+    build_truncated_dag,
+    dag_from_trace,
+)
+
+__all__ = [
+    "Identity",
+    "IDENTITY",
+    "GradientVector",
+    "DenseJacobian",
+    "SparseJacobian",
+    "ScanContext",
+    "OpInfo",
+    "StepRecord",
+    "linear_scan",
+    "blelloch_scan",
+    "blelloch_num_levels",
+    "hillis_steele_scan",
+    "truncated_blelloch_scan",
+    "simple_op",
+    "ParallelScanExecutor",
+    "ScanDAG",
+    "TaskNode",
+    "build_blelloch_dag",
+    "build_linear_dag",
+    "build_truncated_dag",
+    "dag_from_trace",
+]

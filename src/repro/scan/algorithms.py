@@ -1,0 +1,177 @@
+"""Scan algorithms: linear (serial BP), Blelloch (Algorithm 1),
+Hillis–Steele, and the truncated/balanced Blelloch of Section 5.2.
+
+All executors are generic over the operator: they take
+``op(a, b, info) -> element`` where ``info`` is an
+:class:`~repro.scan.elements.OpInfo` describing phase/level/positions.
+The same executors therefore run (a) numerically via
+:class:`~repro.scan.elements.ScanContext` and (b) symbolically via the
+PRAM cost model — one schedule feeds both planes.
+
+Indexing follows the paper exactly: the input array ``a`` has ``n+1``
+entries ``a[0..n]`` (gradient vector followed by ``n`` transposed
+Jacobians) and the exclusive scan output is
+``[I, ∇x_n ℓ, ∇x_{n−1} ℓ, ..., ∇x_1 ℓ]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Sequence
+
+from repro.scan.elements import IDENTITY, Identity, OpInfo
+
+OpFn = Callable[[Any, Any, OpInfo], Any]
+
+
+def simple_op(fn: Callable[[Any, Any], Any]) -> OpFn:
+    """Adapt a plain two-argument ⊙ implementation to the executor API."""
+
+    def wrapped(a: Any, b: Any, info: OpInfo) -> Any:
+        return fn(a, b)
+
+    return wrapped
+
+
+def blelloch_num_levels(length: int) -> int:
+    """``⌈log2(length)⌉`` — the number of up-sweep levels for an
+    ``length``-element array (paper's ``⌈log(n+1)⌉``)."""
+    if length <= 0:
+        raise ValueError("scan requires a non-empty array")
+    return max(1, math.ceil(math.log2(length)))
+
+
+def linear_scan(items: Sequence[Any], op: OpFn, identity: Any = IDENTITY) -> List[Any]:
+    """Serial exclusive scan — the baseline equivalent to sequential BP.
+
+    ``out[k] = a[0] ⊙ a[1] ⊙ ... ⊙ a[k−1]`` with ``out[0] = I``; every
+    step is a matrix–vector product when ``a[0]`` is the gradient
+    vector, exactly like Eq. 3 executed layer by layer.
+    """
+    out: List[Any] = [identity]
+    acc = identity
+    for k, item in enumerate(items[:-1]):
+        acc = op(acc, item, OpInfo("linear", 0, k, k + 1))
+        out.append(acc)
+    return out
+
+
+def blelloch_scan(
+    items: Sequence[Any], op: OpFn, identity: Any = IDENTITY
+) -> List[Any]:
+    """The paper's modified Blelloch scan (Algorithm 1).
+
+    Up-sweep: ``a[r] ← a[l] ⊙ a[r]``.  Down-sweep (operands reversed for
+    the non-commutative ⊙ — the paper's modification, line 13):
+    ``T ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ T``.
+
+    Operations at the same (phase, level) are mutually independent and
+    may run in parallel; serial execution here preserves the exact
+    multiplication order and hence bitwise behaviour.
+    """
+    a = list(items)
+    n = len(a) - 1
+    if n == 0:
+        return [identity]
+    levels = blelloch_num_levels(n + 1)
+
+    for d in range(levels - 1):  # paper: d = 0 .. ⌈log(n+1)⌉−2
+        step = 1 << (d + 1)
+        for i in range(0, n - (1 << d) + 1, step):
+            l = i + (1 << d) - 1
+            r = min(i + step - 1, n)
+            a[r] = op(a[l], a[r], OpInfo("up", d, l, r))
+
+    a[n] = identity
+
+    for d in range(levels - 1, -1, -1):
+        step = 1 << (d + 1)
+        for i in range(0, n - (1 << d) + 1, step):
+            l = i + (1 << d) - 1
+            r = min(i + step - 1, n)
+            t = a[l]
+            a[l] = a[r]
+            a[r] = op(a[r], t, OpInfo("down", d, l, r))
+    return a
+
+
+def hillis_steele_scan(
+    items: Sequence[Any], op: OpFn, identity: Any = IDENTITY
+) -> List[Any]:
+    """Hillis & Steele (1986) scan, shifted to exclusive form.
+
+    Step-optimal (⌈log n⌉ steps even with clamping) but work-inefficient
+    (Θ(n log n)); included as the classic alternative the paper cites.
+    Correct for non-commutative operators because each update combines a
+    left segment with the adjacent right segment in order.
+    """
+    n = len(items)
+    a = list(items)
+    d = 1
+    level = 0
+    while d < n:
+        prev = a
+        a = list(prev)
+        for i in range(d, n):
+            a[i] = op(prev[i - d], prev[i], OpInfo("hs", level, i - d, i))
+        d <<= 1
+        level += 1
+    # inclusive → exclusive: shift right, drop the total.
+    return [identity] + a[:-1]
+
+
+def truncated_blelloch_scan(
+    items: Sequence[Any],
+    op: OpFn,
+    up_levels: int,
+    identity: Any = IDENTITY,
+) -> List[Any]:
+    """Section 5.2's balanced variant.
+
+    Runs the up-sweep only for levels ``0 .. up_levels−1``, computes the
+    block-exclusive prefixes *serially* (cheap matrix–vector chain,
+    because block 0's summary is gradient-seeded), places them at the
+    block roots, then runs the down-sweep for levels
+    ``up_levels−1 .. 0``.  Equivalent output to :func:`blelloch_scan`;
+    avoids the densest high-level matrix–matrix products.
+
+    ``up_levels=0`` degenerates to a pure linear scan;
+    ``up_levels ≥ ⌈log2(n+1)⌉−1`` degenerates to the full Blelloch scan.
+    """
+    a = list(items)
+    n = len(a) - 1
+    if n == 0:
+        return [identity]
+    levels = blelloch_num_levels(n + 1)
+    k = max(0, min(up_levels, levels - 1))
+
+    # --- partial up-sweep (parallel levels 0..k−1) -----------------------
+    for d in range(k):
+        step = 1 << (d + 1)
+        for i in range(0, n - (1 << d) + 1, step):
+            l = i + (1 << d) - 1
+            r = min(i + step - 1, n)
+            a[r] = op(a[l], a[r], OpInfo("up", d, l, r))
+
+    # --- serial middle: exclusive prefixes of block summaries ------------
+    block = 1 << k
+    roots = [min(start + block - 1, n) for start in range(0, n + 1, block)]
+    prefix = identity
+    for m, root in enumerate(roots):
+        summary = a[root]
+        a[root] = prefix
+        if m < len(roots) - 1:
+            prefix = op(
+                prefix, summary, OpInfo("serial-mid", k, root, roots[m + 1])
+            )
+
+    # --- partial down-sweep (parallel levels k−1..0) ----------------------
+    for d in range(k - 1, -1, -1):
+        step = 1 << (d + 1)
+        for i in range(0, n - (1 << d) + 1, step):
+            l = i + (1 << d) - 1
+            r = min(i + step - 1, n)
+            t = a[l]
+            a[l] = a[r]
+            a[r] = op(a[r], t, OpInfo("down", d, l, r))
+    return a

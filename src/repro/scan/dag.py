@@ -1,0 +1,168 @@
+"""Scan schedules as task DAGs (the structure drawn in paper Figure 4).
+
+A scan algorithm's ⊙ applications form a DAG: operations at the same
+(phase, level) are mutually independent; levels are ordered up-sweep
+``L0, L1, …`` then down-sweep back to ``L…``.  This module turns a
+recorded trace (:class:`~repro.scan.elements.StepRecord` list) into an
+explicit :class:`ScanDAG` of :class:`TaskNode` levels — the object the
+PRAM simulator schedules onto ``p`` workers, and the object the Fig. 4
+experiment prints.
+
+Builders are also provided that *symbolically* enumerate the schedule
+for a given array length without any numeric data, so schedules for
+n = 30000 can be analyzed instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.scan.algorithms import (
+    blelloch_scan,
+    linear_scan,
+    simple_op,
+    truncated_blelloch_scan,
+)
+from repro.scan.elements import OpInfo, StepRecord
+
+
+@dataclass
+class TaskNode:
+    """One ⊙ application with its cost."""
+
+    info: OpInfo
+    kind: str  # "mv" | "mm"
+    flops: int
+    dense_mnk: int = 0
+    critical: bool = False  # filled by the PRAM scheduler
+
+
+@dataclass
+class ScanDAG:
+    """An ordered sequence of parallel levels of :class:`TaskNode`.
+
+    ``levels[i]`` may execute concurrently on available workers;
+    level ``i+1`` must wait for level ``i`` (the level-synchronous
+    execution model of the paper's CUDA implementation, which launches
+    one kernel per level).
+    """
+
+    levels: List[List[TaskNode]] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(lv) for lv in self.levels)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(node.flops for lv in self.levels for node in lv)
+
+    def all_nodes(self) -> List[TaskNode]:
+        return [node for lv in self.levels for node in lv]
+
+    def level_keys(self) -> List[Tuple[str, int]]:
+        return [
+            (lv[0].info.phase, lv[0].info.level) if lv else ("empty", -1)
+            for lv in self.levels
+        ]
+
+    def summary(self) -> str:
+        lines = []
+        for i, lv in enumerate(self.levels):
+            if not lv:
+                continue
+            phase, level = lv[0].info.phase, lv[0].info.level
+            mm = sum(1 for x in lv if x.kind == "mm")
+            mv = len(lv) - mm
+            lines.append(
+                f"L{i}: phase={phase} d={level} ops={len(lv)} (mm={mm}, mv={mv})"
+            )
+        return "\n".join(lines)
+
+
+def dag_from_trace(trace: Sequence[StepRecord]) -> ScanDAG:
+    """Group a recorded trace into ordered parallel levels.
+
+    ``up``/``down``/``hs`` records group by (phase, level); ``linear``
+    and ``serial-mid`` records are inherently sequential, one per level.
+    Input order is preserved (the executors emit records in schedule
+    order).
+    """
+    dag = ScanDAG()
+    current_key: Optional[Tuple[str, int]] = None
+    for rec in trace:
+        node = TaskNode(rec.info, rec.kind, rec.flops, rec.dense_mnk)
+        key = (rec.info.phase, rec.info.level)
+        sequential = rec.info.phase in ("linear", "serial-mid")
+        if sequential or key != current_key or not dag.levels:
+            dag.levels.append([node])
+            current_key = None if sequential else key
+        else:
+            dag.levels[-1].append(node)
+    return dag
+
+
+# ---------------------------------------------------------------------------
+# symbolic builders (no numeric data)
+# ---------------------------------------------------------------------------
+class _Seg:
+    """Symbolic scan element: a contiguous segment, vector iff it
+    contains position 0 (the gradient vector)."""
+
+    __slots__ = ("has_vector",)
+
+    def __init__(self, has_vector: bool) -> None:
+        self.has_vector = has_vector
+
+
+def _symbolic_items(length: int) -> List[_Seg]:
+    return [_Seg(i == 0) for i in range(length)]
+
+
+def _collect(algorithm, length: int, flops_mm: int, flops_mv: int, **kw) -> ScanDAG:
+    trace: List[StepRecord] = []
+
+    def op(a: _Seg, b: _Seg, info: OpInfo) -> _Seg:
+        if isinstance(a, str) or isinstance(b, str):  # identity sentinel
+            result = a if isinstance(b, str) else b
+            return result if isinstance(result, _Seg) else _Seg(False)
+        kind = "mv" if a.has_vector else "mm"
+        trace.append(
+            StepRecord(
+                info=info,
+                kind=kind,
+                flops=flops_mv if kind == "mv" else flops_mm,
+                dense_mnk=0,
+            )
+        )
+        return _Seg(a.has_vector or b.has_vector)
+
+    algorithm(_symbolic_items(length), op, identity="I", **kw)
+    return dag_from_trace(trace)
+
+
+def build_blelloch_dag(
+    length: int, flops_mm: int = 1, flops_mv: int = 1
+) -> ScanDAG:
+    """Schedule of the modified Blelloch scan on an ``length``-element
+    array, with uniform per-kind costs (e.g. the RNN's 2H³ / 2H²)."""
+    return _collect(blelloch_scan, length, flops_mm, flops_mv)
+
+
+def build_linear_dag(length: int, flops_mv: int = 1) -> ScanDAG:
+    """Schedule of the serial linear scan (baseline BP)."""
+    return _collect(linear_scan, length, flops_mv, flops_mv)
+
+
+def build_truncated_dag(
+    length: int, up_levels: int, flops_mm: int = 1, flops_mv: int = 1
+) -> ScanDAG:
+    """Schedule of Section 5.2's truncated Blelloch scan."""
+    return _collect(
+        truncated_blelloch_scan, length, flops_mm, flops_mv, up_levels=up_levels
+    )

@@ -1,0 +1,316 @@
+"""Typed scan elements and the ⊙ operator.
+
+The operator (paper Section 3.1) is ``A ⊙ B = B·A`` with the identity
+matrix as identity value, where ``A`` may be a (gradient) vector or a
+(transposed-Jacobian) matrix and ``B`` is a matrix.  ⊙ is associative
+and **non-commutative**; the type dispatch below implements every
+combination the scan can produce:
+
+====================  =====================  =========================
+A (left operand)      B (right operand)      result ``B·A``
+====================  =====================  =========================
+Identity              anything               B
+anything              Identity               A
+GradientVector        Dense/SparseJacobian   GradientVector (mat-vec)
+DenseJacobian         DenseJacobian          DenseJacobian (mat-mat)
+SparseJacobian        SparseJacobian         SparseJacobian (SpGEMM)
+Dense/Sparse mixes    —                      DenseJacobian
+====================  =====================  =========================
+
+Elements are *batched*: one logical element per sample, vectorized
+across the batch.  Sparse elements share a deterministic CSR pattern
+(paper Section 3.3) with per-sample data, so one cached SpGEMM plan
+serves the whole batch.
+
+Every combine records FLOPs and a dense-equivalent ``m·n·k`` size —
+the quantities Figure 11 plots per scan step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sparse import CSRMatrix, PatternCache, csr_matvec_batched
+
+
+class Identity:
+    """The symbolic identity matrix I (never materialized)."""
+
+    _instance: Optional["Identity"] = None
+
+    def __new__(cls) -> "Identity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "I"
+
+
+IDENTITY = Identity()
+
+
+class GradientVector:
+    """A batch of gradient vectors, shape (B, d)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.ndim != 2:
+            raise ValueError(f"expected (B, d) or (d,), got {data.shape}")
+        self.data = data
+
+    @property
+    def batch(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.data.shape[1]
+
+    def __repr__(self) -> str:
+        return f"GradientVector(B={self.batch}, d={self.dim})"
+
+
+class DenseJacobian:
+    """A batch of dense transposed Jacobians.
+
+    ``data``: (d_in, d_out) shared across samples or (B, d_in, d_out).
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim not in (2, 3):
+            raise ValueError(f"expected 2-D or 3-D array, got {data.shape}")
+        self.data = data
+
+    @property
+    def shared(self) -> bool:
+        return self.data.ndim == 2
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.data.shape[-2:]
+
+    @property
+    def batch(self) -> Optional[int]:
+        return None if self.shared else self.data.shape[0]
+
+    def __repr__(self) -> str:
+        tag = "shared" if self.shared else f"B={self.data.shape[0]}"
+        return f"DenseJacobian({self.shape}, {tag})"
+
+
+class SparseJacobian:
+    """A batch of CSR transposed Jacobians sharing one pattern.
+
+    ``pattern`` holds the structure (and, when ``data is None``, the
+    shared values); ``data`` of shape (B, nnz) holds per-sample values.
+    """
+
+    __slots__ = ("pattern", "data")
+
+    def __init__(self, pattern: CSRMatrix, data: Optional[np.ndarray] = None) -> None:
+        self.pattern = pattern
+        if data is not None:
+            data = np.asarray(data, dtype=np.float64)
+            if data.ndim != 2 or data.shape[1] != pattern.nnz:
+                raise ValueError(
+                    f"data must be (B, nnz={pattern.nnz}), got {data.shape}"
+                )
+        self.data = data
+
+    @property
+    def shared(self) -> bool:
+        return self.data is None
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.pattern.shape
+
+    @property
+    def batch(self) -> Optional[int]:
+        return None if self.data is None else self.data.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return self.pattern.nnz
+
+    def values(self) -> np.ndarray:
+        """(B, nnz) or (1, nnz) value matrix."""
+        return self.pattern.data[None, :] if self.data is None else self.data
+
+    def to_dense(self) -> DenseJacobian:
+        rows = self.pattern.row_ids()
+        if self.shared:
+            return DenseJacobian(self.pattern.to_dense())
+        out = np.zeros((self.data.shape[0], *self.shape))
+        out[:, rows, self.pattern.indices] = self.data
+        return DenseJacobian(out)
+
+    def __repr__(self) -> str:
+        tag = "shared" if self.shared else f"B={self.data.shape[0]}"
+        return f"SparseJacobian({self.shape}, nnz={self.nnz}, {tag})"
+
+
+ScanElement = Union[Identity, GradientVector, DenseJacobian, SparseJacobian]
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Where an ⊙ application sits inside a scan algorithm."""
+
+    phase: str  # "up", "down", "linear", "serial-mid"
+    level: int
+    left: int
+    right: int
+
+
+@dataclass
+class StepRecord:
+    """Cost record of one ⊙ application (one Figure 11 data point)."""
+
+    info: OpInfo
+    kind: str  # "mv" (matrix-vector) or "mm" (matrix-matrix)
+    flops: int  # actual FLOPs (per batch, sparse-aware)
+    dense_mnk: int  # m·n·k if operands were dense — Figure 11's x-axis
+    out_repr: str = ""
+
+
+class ScanContext:
+    """Evaluates ⊙ with plan caching, FLOP accounting, and densify policy.
+
+    Parameters
+    ----------
+    pattern_cache:
+        Shared :class:`PatternCache`; pass one per model so symbolic
+        SpGEMM work amortizes across training iterations.
+    densify_threshold:
+        Convert a sparse product to dense storage when its density
+        exceeds this value (products lose sparsity as the up-sweep
+        progresses — paper Section 5.2).  ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        pattern_cache: Optional[PatternCache] = None,
+        densify_threshold: Optional[float] = 0.25,
+    ) -> None:
+        self.cache = pattern_cache if pattern_cache is not None else PatternCache()
+        self.densify_threshold = densify_threshold
+        self.trace: List[StepRecord] = []
+        self.total_flops = 0
+
+    # ------------------------------------------------------------------
+    def reset_trace(self) -> None:
+        self.trace = []
+        self.total_flops = 0
+
+    def op(self, a: ScanElement, b: ScanElement, info: Optional[OpInfo] = None):
+        """Apply ``a ⊙ b`` (= ``b·a``), recording cost."""
+        if isinstance(a, Identity):
+            return b
+        if isinstance(b, Identity):
+            return a
+        if isinstance(b, GradientVector):
+            raise TypeError("right operand of ⊙ must be a matrix or identity")
+        if info is None:
+            info = OpInfo("adhoc", -1, -1, -1)
+
+        if isinstance(a, GradientVector):
+            result, flops, mnk = self._matvec(b, a)
+            kind = "mv"
+        else:
+            result, flops, mnk = self._matmat(b, a)
+            kind = "mm"
+        self.total_flops += flops
+        self.trace.append(
+            StepRecord(info=info, kind=kind, flops=flops, dense_mnk=mnk,
+                       out_repr=repr(result))
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # B @ v
+    # ------------------------------------------------------------------
+    def _matvec(
+        self, b: ScanElement, v: GradientVector
+    ) -> Tuple[GradientVector, int, int]:
+        m, n = b.shape
+        if n != v.dim:
+            raise ValueError(f"shape mismatch: {b.shape} @ (B, {v.dim})")
+        if isinstance(b, SparseJacobian):
+            out = csr_matvec_batched(b.pattern, b.values(), v.data)
+            flops = 2 * b.nnz * v.batch
+        else:
+            if b.shared:
+                out = v.data @ b.data.T  # (B, d_out) @ (d_out, d_in)^T
+            else:
+                out = np.einsum("bmn,bn->bm", b.data, v.data)
+            flops = 2 * m * n * v.batch
+        return GradientVector(out), flops, m * n
+
+    # ------------------------------------------------------------------
+    # B @ A (matrix–matrix), result replaces the combined range
+    # ------------------------------------------------------------------
+    def _matmat(self, b: ScanElement, a: ScanElement):
+        if b.shape[1] != a.shape[0]:
+            raise ValueError(f"shape mismatch: {b.shape} @ {a.shape}")
+        m, k = b.shape
+        _, n = a.shape
+        mnk = m * n * k
+        batch = _result_batch(a, b)
+
+        if isinstance(b, SparseJacobian) and isinstance(a, SparseJacobian):
+            plan = self.cache.plan_for(b.pattern, a.pattern)
+            flops = plan.flops * max(batch or 1, 1)
+            if b.shared and a.shared:
+                out = SparseJacobian(plan.execute(b.pattern, a.pattern))
+            else:
+                vals = plan.execute_batched(b.values(), a.values())
+                out_pattern = CSRMatrix(
+                    plan.out_indptr,
+                    plan.out_indices,
+                    np.ones(plan.out_nnz),
+                    plan.out_shape,
+                )
+                out = SparseJacobian(out_pattern, vals)
+            return self._maybe_densify(out), flops, mnk
+
+        # At least one dense operand → dense result.
+        b_dense = b.to_dense().data if isinstance(b, SparseJacobian) else b.data
+        a_dense = a.to_dense().data if isinstance(a, SparseJacobian) else a.data
+        if isinstance(b, SparseJacobian):
+            flops = 2 * b.nnz * n * max(batch or 1, 1)
+        elif isinstance(a, SparseJacobian):
+            flops = 2 * a.nnz * m * max(batch or 1, 1)
+        else:
+            flops = 2 * mnk * max(batch or 1, 1)
+        out_data = b_dense @ a_dense if (b_dense.ndim == 2 and a_dense.ndim == 2) else np.matmul(b_dense, a_dense)
+        return DenseJacobian(out_data), flops, mnk
+
+    def _maybe_densify(self, s: SparseJacobian) -> ScanElement:
+        if (
+            self.densify_threshold is not None
+            and s.pattern.density > self.densify_threshold
+        ):
+            return s.to_dense()
+        return s
+
+
+def _result_batch(a: ScanElement, b: ScanElement) -> Optional[int]:
+    batches = [e.batch for e in (a, b) if not isinstance(e, Identity)]
+    batches = [x for x in batches if x is not None]
+    if not batches:
+        return None
+    if len(set(batches)) > 1:
+        raise ValueError(f"inconsistent batch sizes {batches}")
+    return batches[0]

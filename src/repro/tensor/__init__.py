@@ -1,0 +1,36 @@
+"""Reverse-mode automatic differentiation substrate.
+
+This package is the repo's stand-in for PyTorch autograd (the paper's
+baseline substrate): a tape-based reverse-mode AD engine over NumPy
+arrays.  It exists so that
+
+* the baseline back-propagation the paper compares against (Eq. 3,
+  executed layer-by-layer) is a real, tested implementation, and
+* BPPSA's gradients can be checked for *exact reconstruction* against an
+  independent gradient computation (paper Section 3.5).
+
+Public API
+----------
+:class:`Tensor`
+    n-d array with a ``grad`` field and a ``backward()`` method.
+:class:`Function`
+    base class for differentiable operations.
+:func:`~repro.tensor.grad_check.gradcheck`
+    numerical finite-difference gradient verification.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.function import Context, Function
+from repro.tensor import ops
+from repro.tensor.grad_check import gradcheck, numerical_jacobian
+
+__all__ = [
+    "Tensor",
+    "Context",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "gradcheck",
+    "numerical_jacobian",
+]

@@ -1,0 +1,136 @@
+"""Differentiable-operation machinery for the autodiff tape.
+
+Every primitive operation is a :class:`Function` subclass with a static
+``forward`` and a static ``backward``.  ``Function.apply`` runs the
+forward computation on raw ``numpy`` arrays, wraps the result in a
+:class:`~repro.tensor.tensor.Tensor`, and records a tape node so that
+``Tensor.backward()`` can replay the graph in reverse topological order.
+
+The design intentionally mirrors ``torch.autograd.Function`` so that the
+paper's PyTorch-based experiment descriptions translate one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Context:
+    """Per-call scratch space passed from ``forward`` to ``backward``.
+
+    ``forward`` stashes whatever intermediate values the backward pass
+    needs via :meth:`save_for_backward` or plain attribute assignment.
+    """
+
+    __slots__ = ("saved_tensors", "__dict__")
+
+    def __init__(self) -> None:
+        self.saved_tensors: Tuple[Any, ...] = ()
+
+    def save_for_backward(self, *values: Any) -> None:
+        """Record ``values`` for retrieval in ``backward``."""
+        self.saved_tensors = values
+
+
+class Function:
+    """Base class for differentiable primitives.
+
+    Subclasses implement::
+
+        @staticmethod
+        def forward(ctx, *array_args, **kwargs) -> np.ndarray: ...
+
+        @staticmethod
+        def backward(ctx, grad_output) -> tuple[np.ndarray | None, ...]
+
+    ``backward`` must return one gradient (or ``None``) per positional
+    argument of ``forward`` (excluding ``ctx``); keyword arguments are
+    treated as non-differentiable configuration.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, *args: Any, **kwargs: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any, **kwargs: Any):
+        """Execute ``forward`` and record the tape node if needed."""
+        # Imported here to avoid a circular import at module load time.
+        from repro.tensor.tensor import Tensor, is_grad_enabled
+
+        tensor_args: list[Optional[Tensor]] = []
+        raw_args: list[Any] = []
+        for a in args:
+            if isinstance(a, Tensor):
+                tensor_args.append(a)
+                raw_args.append(a.data)
+            else:
+                tensor_args.append(None)
+                raw_args.append(a)
+
+        ctx = Context()
+        out_data = cls.forward(ctx, *raw_args, **kwargs)
+
+        requires_grad = is_grad_enabled() and any(
+            t is not None and t.requires_grad for t in tensor_args
+        )
+        out = Tensor(out_data, requires_grad=requires_grad)
+        if requires_grad:
+            out._node = Node(cls, ctx, tensor_args)
+        return out
+
+
+class Node:
+    """A recorded operation on the tape.
+
+    Holds the :class:`Function` subclass, its saved context, and the
+    input tensors (``None`` for non-tensor positional arguments).
+    """
+
+    __slots__ = ("fn", "ctx", "inputs")
+
+    def __init__(
+        self,
+        fn: type,
+        ctx: Context,
+        inputs: Sequence[Optional["Tensor"]],  # noqa: F821
+    ) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        self.inputs = tuple(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> Tuple[Any, ...]:
+        grads = self.fn.backward(self.ctx, grad_output)
+        if not isinstance(grads, tuple):
+            grads = (grads,)
+        if len(grads) != len(self.inputs):
+            raise RuntimeError(
+                f"{self.fn.__name__}.backward returned {len(grads)} "
+                f"gradients for {len(self.inputs)} inputs"
+            )
+        return grads
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches a broadcast operand's ``shape``.
+
+    NumPy broadcasting implicitly tiles the smaller operand; the adjoint
+    of that tiling is a sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original operand.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)

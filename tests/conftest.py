@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(0xBEEF)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration test")

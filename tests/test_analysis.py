@@ -1,0 +1,127 @@
+"""Tests for static FLOP analysis and complexity laws."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EstimatePattern,
+    StaticScanAnalyzer,
+    blelloch_step_complexity,
+    conv_dgrad_flops,
+    elementwise_backward_flops,
+    linear_step_complexity,
+)
+from repro.scan import (
+    GradientVector,
+    ScanContext,
+    SparseJacobian,
+    truncated_blelloch_scan,
+)
+from repro.sparse import CSRMatrix
+
+
+def random_pattern_chain(rng, n, dim=6, density=0.5):
+    """A chain of square CSR patterns (dims equal for simplicity)."""
+    out = []
+    for _ in range(n):
+        dense = (rng.random((dim, dim)) < density) * rng.standard_normal((dim, dim))
+        out.append(CSRMatrix.from_dense(dense))
+    return out
+
+
+class TestStaticAnalyzer:
+    def test_flops_match_numeric_execution(self, rng):
+        """Static analysis must cost exactly what the numeric scan does."""
+        chain = random_pattern_chain(rng, 7)
+        analyzer = StaticScanAnalyzer()
+        steps = analyzer.analyze(chain, grad_dim=6, algorithm="truncated", up_levels=2)
+
+        ctx = ScanContext(densify_threshold=None)
+        items = [GradientVector(rng.standard_normal((1, 6)))]
+        items += [SparseJacobian(p) for p in chain]
+        truncated_blelloch_scan(items, ctx.op, up_levels=2)
+
+        assert len(steps) == len(ctx.trace)
+        static_flops = sorted(s.flops for s in steps)
+        numeric_flops = sorted(r.flops for r in ctx.trace)
+        np.testing.assert_allclose(static_flops, numeric_flops)
+
+    def test_linear_algorithm_only_matvecs(self, rng):
+        chain = random_pattern_chain(rng, 5)
+        steps = StaticScanAnalyzer().analyze(chain, grad_dim=6, algorithm="linear")
+        assert all(s.kind == "mv" for s in steps)
+
+    def test_blelloch_has_matmats(self, rng):
+        chain = random_pattern_chain(rng, 8)
+        steps = StaticScanAnalyzer().analyze(chain, grad_dim=6, algorithm="blelloch")
+        assert any(s.kind == "mm" for s in steps)
+
+    def test_critical_marking_per_level(self, rng):
+        chain = random_pattern_chain(rng, 8)
+        steps = StaticScanAnalyzer().analyze(chain, grad_dim=6, algorithm="blelloch")
+        levels = {}
+        for s in steps:
+            levels.setdefault((s.phase, s.level), []).append(s)
+        for group in levels.values():
+            assert any(s.critical for s in group)
+            fmax = max(s.flops for s in group)
+            assert all(s.flops == fmax for s in group if s.critical)
+
+    def test_estimator_fallback(self, rng):
+        """With a tiny expansion limit, downstream steps become estimates
+        but remain well-formed."""
+        chain = random_pattern_chain(rng, 8, dim=8, density=0.8)
+        analyzer = StaticScanAnalyzer(expansion_limit=1)
+        steps = analyzer.analyze(chain, grad_dim=8, algorithm="blelloch")
+        assert any(not s.exact for s in steps)
+        assert all(s.flops >= 0 for s in steps)
+
+    def test_estimate_pattern_element(self):
+        analyzer = StaticScanAnalyzer()
+        est = EstimatePattern((4, 4), 8.0)
+        steps = analyzer.analyze([est, est], grad_dim=4, algorithm="linear")
+        assert all(not s.exact for s in steps) or all(s.kind == "mv" for s in steps)
+
+    def test_shape_mismatch_raises(self, rng):
+        a = CSRMatrix.from_dense(rng.standard_normal((3, 4)))
+        b = CSRMatrix.from_dense(rng.standard_normal((9, 9)))
+        # b is consumed second (the exclusive scan never consumes the
+        # final element, so a third entry is needed).
+        with pytest.raises(ValueError, match="shape mismatch"):
+            StaticScanAnalyzer().analyze([a, b, b], grad_dim=4, algorithm="linear")
+
+    def test_unknown_algorithm(self, rng):
+        with pytest.raises(ValueError):
+            StaticScanAnalyzer().analyze([], grad_dim=2, algorithm="warp")
+
+    def test_baseline_steps(self):
+        analyzer = StaticScanAnalyzer()
+        steps = analyzer.baseline_steps([(100.0, 1000.0), (50.0, 500.0)])
+        assert len(steps) == 2
+        assert all(s.phase == "baseline" and s.critical for s in steps)
+
+
+class TestBaselineFormulas:
+    def test_conv_dgrad(self):
+        flops, mnk = conv_dgrad_flops(3, 64, 3, 32, 32, 32, 32)
+        assert flops == 2 * 3 * 32 * 32 * 64 * 9
+        assert mnk == (3 * 32 * 32) * (64 * 32 * 32)
+
+    def test_conv_dgrad_density_scaling(self):
+        full, _ = conv_dgrad_flops(4, 4, 3, 8, 8, 8, 8)
+        pruned, _ = conv_dgrad_flops(4, 4, 3, 8, 8, 8, 8, weight_density=0.03)
+        assert pruned == pytest.approx(0.03 * full)
+
+    def test_elementwise(self):
+        flops, mnk = elementwise_backward_flops(100)
+        assert flops == 200 and mnk == 10000
+
+
+class TestComplexityFunctions:
+    def test_regimes(self):
+        assert blelloch_step_complexity(1024, 10**9) == pytest.approx(10.0)
+        assert blelloch_step_complexity(1024, 16) == pytest.approx(64 + 4)
+        assert linear_step_complexity(77) == 77
+
+    def test_zero_size(self):
+        assert blelloch_step_complexity(0, 4) == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the datasets (Eq. 8 bitstreams, synthetic images)."""
+
+import numpy as np
+import pytest
+
+from repro.data import BitstreamDataset, SyntheticImages, batch_iterator
+
+
+class TestBitstream:
+    def test_deterministic_per_index(self):
+        ds = BitstreamDataset(seq_len=50, num_samples=100, seed=3)
+        x1, y1 = ds.sample(7)
+        x2, y2 = ds.sample(7)
+        np.testing.assert_array_equal(x1, x2)
+        assert y1 == y2
+
+    def test_shapes_and_binary_values(self):
+        ds = BitstreamDataset(seq_len=20, num_samples=10)
+        x, y = ds.sample(0)
+        assert x.shape == (20, 1)
+        assert set(np.unique(x)) <= {0.0, 1.0}
+        assert 0 <= y < 10
+
+    def test_class_probability_equation8(self):
+        ds = BitstreamDataset(seq_len=10, num_samples=10)
+        for c in range(10):
+            assert ds.class_probability(c) == pytest.approx(0.05 + c * 0.1)
+
+    def test_bit_rate_matches_class(self):
+        """Statistical check of Eq. 8: observed rate ≈ 0.05 + 0.1·c."""
+        ds = BitstreamDataset(seq_len=4000, num_samples=200, seed=0)
+        for index in range(20):
+            x, y = ds.sample(index)
+            rate = x.mean()
+            expected = ds.class_probability(y)
+            # 4000 Bernoulli draws: σ ≤ 0.0079, allow 5σ
+            assert abs(rate - expected) < 0.04, (index, rate, expected)
+
+    def test_labels_balanced(self):
+        ds = BitstreamDataset(seq_len=5, num_samples=1000)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert counts.min() >= 90
+
+    def test_batches_cover_dataset(self):
+        ds = BitstreamDataset(seq_len=5, num_samples=64)
+        total = sum(len(y) for _, y in ds.batches(16))
+        assert total == 64
+
+    def test_batches_shapes(self):
+        ds = BitstreamDataset(seq_len=12, num_samples=40)
+        x, y = next(ds.batches(8))
+        assert x.shape == (8, 12, 1) and y.shape == (8,)
+
+    def test_num_batches_limit(self):
+        ds = BitstreamDataset(seq_len=5, num_samples=100)
+        assert len(list(ds.batches(10, num_batches=3))) == 3
+
+    def test_epoch_seed_changes_order(self):
+        ds = BitstreamDataset(seq_len=5, num_samples=64)
+        _, y0 = next(ds.batches(32, epoch_seed=0))
+        _, y1 = next(ds.batches(32, epoch_seed=1))
+        assert not np.array_equal(y0, y1)
+
+    def test_out_of_range_index(self):
+        ds = BitstreamDataset(seq_len=5, num_samples=10)
+        with pytest.raises(IndexError):
+            ds.sample(10)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            BitstreamDataset(seq_len=5, num_classes=20)  # 0.05+19·0.1 > 1
+
+
+class TestSyntheticImages:
+    def test_shapes_and_determinism(self):
+        ds = SyntheticImages(num_samples=16, seed=1)
+        x1, y1 = ds.sample(3)
+        x2, y2 = ds.sample(3)
+        assert x1.shape == (3, 32, 32)
+        np.testing.assert_array_equal(x1, x2)
+        assert y1 == y2
+
+    def test_train_test_share_templates(self):
+        tr = SyntheticImages(num_samples=8, seed=5, train=True)
+        te = SyntheticImages(num_samples=8, seed=5, train=False)
+        np.testing.assert_array_equal(tr.templates, te.templates)
+
+    def test_train_test_different_samples(self):
+        tr = SyntheticImages(num_samples=8, seed=5, train=True)
+        te = SyntheticImages(num_samples=8, seed=5, train=False)
+        x_tr, _ = tr.sample(0)
+        x_te, _ = te.sample(0)
+        assert not np.array_equal(x_tr, x_te)
+
+    def test_classes_are_distinguishable(self):
+        """Nearest-template classification beats chance by a wide margin
+        — the dataset is learnable, as Fig. 7's substitute requires."""
+        ds = SyntheticImages(num_samples=100, seed=2, noise=0.3)
+        correct = 0
+        for i in range(100):
+            x, y = ds.sample(i)
+            dists = [np.linalg.norm(x / np.linalg.norm(x) - t / np.linalg.norm(t))
+                     for t in ds.templates]
+            correct += int(np.argmin(dists) == y)
+        assert correct > 60
+
+    def test_batches(self):
+        ds = SyntheticImages(num_samples=20, shape=(1, 8, 8))
+        x, y = next(ds.batches(5))
+        assert x.shape == (5, 1, 8, 8)
+
+
+class TestBatchIterator:
+    def test_epochs_chain(self):
+        ds = BitstreamDataset(seq_len=4, num_samples=20)
+        batches = list(batch_iterator(ds, batch_size=10, epochs=3))
+        assert len(batches) == 6
+
+    def test_num_batches_cap(self):
+        ds = BitstreamDataset(seq_len=4, num_samples=20)
+        batches = list(batch_iterator(ds, batch_size=10, epochs=5, num_batches=7))
+        assert len(batches) == 7

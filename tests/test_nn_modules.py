@@ -1,0 +1,159 @@
+"""Tests for the Module system, layers, and initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    AvgPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    init,
+)
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class TestModule:
+    def test_named_parameters_nested(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert names == [
+            "layer0.weight",
+            "layer0.bias",
+            "layer2.weight",
+            "layer2.bias",
+        ]
+
+    def test_parameters_count(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng), Linear(3, 2, rng=rng))
+        assert len(model.parameters()) == 4
+
+    def test_zero_grad(self, rng):
+        lin = Linear(4, 2, rng=rng)
+        out = lin(Tensor(rng.standard_normal((3, 4))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Sequential(Linear(4, 3, rng=rng), Linear(3, 2, rng=rng))
+        b = Sequential(
+            Linear(4, 3, rng=np.random.default_rng(7)),
+            Linear(3, 2, rng=np.random.default_rng(8)),
+        )
+        b.load_state_dict(a.state_dict())
+        x = Tensor(rng.standard_normal((2, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        a = Linear(4, 3, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})  # missing bias
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        a = Linear(4, 3, rng=rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            a.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng), ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_modules_traversal(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng), Sequential(ReLU(), Tanh()))
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("Sequential") == 2
+        assert "ReLU" in kinds and "Tanh" in kinds
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes_and_math(self, rng):
+        lin = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5))
+        out = lin(Tensor(x))
+        assert out.shape == (4, 3)
+        ref = x @ lin.weight.data.T + lin.bias.data
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_linear_no_bias(self, rng):
+        lin = Linear(5, 3, bias=False, rng=rng)
+        assert lin.bias is None
+        assert len(list(lin.named_parameters())) == 1
+
+    def test_conv_output_hw(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert conv.output_hw(32, 32) == (16, 16)
+        out = conv(Tensor(rng.standard_normal((1, 3, 32, 32))))
+        assert out.shape == (1, 8, 16, 16)
+
+    def test_pool_output_hw(self, rng):
+        pool = MaxPool2d(2)
+        assert pool.output_hw(8, 8) == (4, 4)
+        out = pool(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_avgpool_values(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        out = AvgPool2d(2)(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0, 0, 0], x[0, 0, :2, :2].mean())
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.standard_normal((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_activations_forward(self, rng):
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(ReLU()(Tensor(x)).data, np.maximum(x, 0))
+        np.testing.assert_allclose(Tanh()(Tensor(x)).data, np.tanh(x))
+        np.testing.assert_allclose(
+            Sigmoid()(Tensor(x)).data, 1 / (1 + np.exp(-x))
+        )
+
+    def test_sequential_indexing(self, rng):
+        layers = [Linear(2, 2, rng=rng), ReLU(), Linear(2, 2, rng=rng)]
+        model = Sequential(*layers)
+        assert len(model) == 3
+        assert model[1] is layers[1]
+        assert list(iter(model)) == layers
+
+
+class TestInit:
+    def test_xavier_bounds(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        bound = math.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_fan_in_conv(self, rng):
+        w = init.kaiming_uniform((8, 4, 3, 3), rng)
+        assert w.shape == (8, 4, 3, 3)
+        assert np.abs(w).max() <= math.sqrt(3.0 / (4 * 9)) * math.sqrt(2 / (1 + 5))
+
+    def test_orthogonal_columns(self, rng):
+        q = init.orthogonal((10, 10), rng)
+        np.testing.assert_allclose(q.T @ q, np.eye(10), atol=1e-10)
+
+    def test_fan_in_out_requires_2d(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((5,), np.random.default_rng(0))
+
+    def test_parameter_always_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad

@@ -1,0 +1,120 @@
+"""Tests for SGD(+momentum) and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, Optimizer
+
+
+def quadratic_grad(p: Parameter) -> np.ndarray:
+    return 2.0 * p.data  # ∇(x²)
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        p.grad = np.array([0.5, 0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, -2.05])
+
+    def test_momentum_matches_reference(self):
+        """v ← μv + g; θ ← θ − lr·v (PyTorch form)."""
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        theta, v = 1.0, 0.0
+        for g in [1.0, 2.0, -1.0]:
+            p.grad = np.array([g])
+            opt.step()
+            v = 0.9 * v + g
+            theta -= 0.1 * v
+            np.testing.assert_allclose(p.data, [theta])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.5, weight_decay=0.1).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.5 * 0.2])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(400):
+            p.grad = quadratic_grad(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-6)
+
+    def test_explicit_grads_dict(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=1.0).step(grads={id(p): np.array([0.25])})
+        np.testing.assert_allclose(p.data, [0.75])
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=1.0).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    @pytest.mark.parametrize("kw", [{"lr": 0}, {"lr": -1}, {"momentum": 1.0}])
+    def test_invalid_hyperparams(self, kw):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([p], **{"lr": 0.1, **kw})
+
+
+class TestAdam:
+    def test_first_step_equals_lr_sign(self):
+        """After one step Adam moves by ≈ lr·sign(g)."""
+        p = Parameter(np.array([1.0, -1.0]))
+        p.grad = np.array([3.0, -0.001])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [0.99, -0.99], atol=1e-5)
+
+    def test_matches_reference_implementation(self, rng):
+        p = Parameter(rng.standard_normal(4))
+        ref = p.data.copy()
+        opt = Adam([p], lr=0.05, betas=(0.9, 0.999), eps=1e-8)
+        m = np.zeros(4)
+        v = np.zeros(4)
+        for t in range(1, 6):
+            g = rng.standard_normal(4)
+            p.grad = g.copy()
+            opt.step()
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            mh = m / (1 - 0.9**t)
+            vh = v / (1 - 0.999**t)
+            ref = ref - 0.05 * mh / (np.sqrt(vh) + 1e-8)
+            np.testing.assert_allclose(p.data, ref, atol=1e-12)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([4.0]))
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad = quadratic_grad(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0], atol=1e-3)
+
+    def test_invalid_hyperparams(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            Adam([p], lr=-1)
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))
+
+
+class TestOptimizerBase:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_base_step_not_implemented(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(NotImplementedError):
+            Optimizer([p]).step()

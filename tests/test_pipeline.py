@@ -1,0 +1,128 @@
+"""Tests for the pipeline-parallelism simulators (paper Section 2.2)."""
+
+import pytest
+
+from repro.pipeline import (
+    GPipeSchedule,
+    NaiveModelParallel,
+    PipeDreamSchedule,
+    bppsa_memory,
+    gpipe_bubble_fraction,
+    gpipe_memory,
+    pipeline_memory_sweep,
+)
+
+
+class TestGPipe:
+    def test_no_device_double_booked(self):
+        sched = GPipeSchedule(32, 4, 6)
+        occupied = set()
+        for e in sched.events:
+            key = (e.time, e.device)
+            assert key not in occupied, f"device {e.device} double-booked at {e.time}"
+            occupied.add(key)
+
+    def test_every_micro_batch_passes_every_stage(self):
+        sched = GPipeSchedule(16, 4, 3)
+        for phase in ("F", "B"):
+            for m in range(3):
+                stages = {e.device for e in sched.events
+                          if e.micro_batch == m and e.phase == phase}
+                assert stages == {0, 1, 2, 3}
+
+    def test_causality_forward_then_backward(self):
+        sched = GPipeSchedule(16, 4, 4)
+        for m in range(4):
+            f_end = max(e.time for e in sched.events
+                        if e.micro_batch == m and e.phase == "F")
+            b_start = min(e.time for e in sched.events
+                          if e.micro_batch == m and e.phase == "B")
+            assert b_start > f_end
+
+    def test_bubble_grows_with_devices(self):
+        bubbles = [GPipeSchedule(64, k, k).bubble_fraction() for k in (2, 4, 8, 16)]
+        assert bubbles == sorted(bubbles)
+
+    def test_bubble_closed_form(self):
+        """Simulated utilization matches (K−1)/(M+K−1) per direction."""
+        for k, m in [(2, 2), (4, 4), (4, 8), (8, 4)]:
+            sched = GPipeSchedule(64, k, m)
+            # total slots = 2(M+K−1); busy per device = 2M
+            expected_util = (2 * m) / (2 * (m + k - 1))
+            assert sched.utilization() == pytest.approx(expected_util)
+            assert gpipe_bubble_fraction(k, m) == pytest.approx(
+                1 - expected_util
+            )
+
+    def test_peak_activation_slots_scale_with_m(self):
+        """Devices must hold ≈M boundary activations — the memory term
+        that limits pipeline depth (paper Section 2.2)."""
+        for m in (2, 4, 8):
+            sched = GPipeSchedule(64, 4, m)
+            assert sched.peak_activation_slots(0) == m
+
+    def test_memory_formula_shape(self):
+        """Θ(L/K + K): decreasing then increasing in K."""
+        mems = [gpipe_memory(256, k) for k in (2, 4, 8, 16, 32, 64, 128)]
+        assert mems[0] > min(mems)
+        assert mems[-1] > min(mems)
+
+    def test_memory_without_remat_is_worse(self):
+        assert gpipe_memory(64, 4, rematerialize=False) > gpipe_memory(64, 4)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            GPipeSchedule(2, 4, 1)
+        with pytest.raises(ValueError):
+            GPipeSchedule(8, 0, 1)
+
+    def test_timing_diagram_dimensions(self):
+        sched = GPipeSchedule(16, 3, 2)
+        dia = sched.timing_diagram()
+        assert len(dia) == 3
+        assert all(len(row) == sched.total_slots for row in dia)
+
+
+class TestPipeDream:
+    def test_stage_stats(self):
+        stats = PipeDreamSchedule(4).stage_stats()
+        assert [s.weight_versions for s in stats] == [4, 3, 2, 1]
+        assert [s.forward_staleness for s in stats] == [3, 2, 1, 0]
+
+    def test_utilization_and_exactness_tradeoff(self):
+        pd = PipeDreamSchedule(8)
+        assert pd.steady_state_utilization() == 1.0  # no bubble…
+        assert not pd.is_gradient_exact()  # …but stale gradients
+
+    def test_single_device_exact(self):
+        assert PipeDreamSchedule(1).is_gradient_exact()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipeDreamSchedule(0)
+
+
+class TestNaive:
+    def test_utilization_inverse_k(self):
+        assert NaiveModelParallel(64, 8).utilization() == 1 / 8
+
+    def test_no_speedup(self):
+        assert NaiveModelParallel(64, 8).speedup_over_single_device() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveModelParallel(2, 4)
+
+
+class TestMemoryComparison:
+    def test_bppsa_memory_decreases_to_constant(self):
+        """Section 3.6: M_Blelloch = Θ(max(n/p, 1))·M_Jacob."""
+        mems = [bppsa_memory(64, p) for p in (1, 2, 8, 64, 512)]
+        assert mems == sorted(mems, reverse=True)
+        assert mems[-1] == 1.0  # constant floor
+
+    def test_sweep_crossover(self):
+        """At large p, pipeline memory exceeds BPPSA's."""
+        rows = pipeline_memory_sweep(64, [2, 8, 32, 64])
+        last = rows[-1]
+        assert last["gpipe"] > last["bppsa"]

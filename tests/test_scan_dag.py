@@ -1,0 +1,88 @@
+"""Tests for the scan-DAG builders and trace grouping."""
+
+import numpy as np
+import pytest
+
+from repro.scan import (
+    DenseJacobian,
+    GradientVector,
+    ScanContext,
+    blelloch_scan,
+    build_blelloch_dag,
+    build_linear_dag,
+    build_truncated_dag,
+    dag_from_trace,
+)
+
+
+class TestSymbolicBuilders:
+    def test_blelloch_dag_vgg11(self):
+        """The Figure 4 case: 8 stages + gradient = 9-element array."""
+        dag = build_blelloch_dag(9)
+        keys = dag.level_keys()
+        # up levels ascend, then down levels descend
+        up = [d for ph, d in keys if ph == "up"]
+        down = [d for ph, d in keys if ph == "down"]
+        assert up == sorted(up) and down == sorted(down, reverse=True)
+        assert dag.num_ops <= 2 * 9
+
+    def test_flops_assignment(self):
+        dag = build_blelloch_dag(8, flops_mm=100, flops_mv=7)
+        for node in dag.all_nodes():
+            assert node.flops == (100 if node.kind == "mm" else 7)
+
+    def test_linear_dag_sequential(self):
+        dag = build_linear_dag(10)
+        # every level holds exactly one op (fully sequential)
+        assert all(len(lv) == 1 for lv in dag.levels)
+        # 10 items: the last is never consumed (exclusive scan) and the
+        # first combine is against the identity (free) → 8 ops
+        assert dag.num_ops == 8
+
+    def test_truncated_dag_k0_is_serial(self):
+        dag = build_truncated_dag(12, up_levels=0)
+        assert all(len(lv) == 1 for lv in dag.levels)
+
+    def test_truncated_dag_k_large_matches_full(self):
+        full = build_blelloch_dag(16)
+        trunc = build_truncated_dag(16, up_levels=16)
+        assert full.num_ops == trunc.num_ops
+
+    def test_total_flops_sum(self):
+        dag = build_blelloch_dag(5, flops_mm=3, flops_mv=2)
+        assert dag.total_flops == sum(n.flops for n in dag.all_nodes())
+
+    def test_summary_mentions_phases(self):
+        s = build_blelloch_dag(9).summary()
+        assert "up" in s and "down" in s
+
+
+class TestTraceGrouping:
+    def test_numeric_trace_groups_match_symbolic(self, rng):
+        n, h = 12, 3
+        items = [GradientVector(rng.standard_normal((1, h)))]
+        items += [DenseJacobian(rng.standard_normal((h, h))) for _ in range(n)]
+        ctx = ScanContext()
+        blelloch_scan(items, ctx.op)
+        from_trace = dag_from_trace(ctx.trace)
+        symbolic = build_blelloch_dag(n + 1)
+        assert from_trace.num_ops == symbolic.num_ops
+        assert [len(lv) for lv in from_trace.levels] == [
+            len(lv) for lv in symbolic.levels
+        ]
+
+    def test_sequential_phases_get_own_levels(self, rng):
+        from repro.scan import truncated_blelloch_scan
+
+        items = [GradientVector(rng.standard_normal((1, 2)))]
+        items += [DenseJacobian(rng.standard_normal((2, 2))) for _ in range(8)]
+        ctx = ScanContext()
+        truncated_blelloch_scan(items, ctx.op, up_levels=1)
+        dag = dag_from_trace(ctx.trace)
+        for lv in dag.levels:
+            if lv[0].info.phase == "serial-mid":
+                assert len(lv) == 1
+
+    def test_empty_trace(self):
+        dag = dag_from_trace([])
+        assert dag.num_levels == 0 and dag.num_ops == 0

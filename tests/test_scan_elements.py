@@ -1,0 +1,190 @@
+"""Tests for the ⊙ operator's type dispatch and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.scan import (
+    DenseJacobian,
+    GradientVector,
+    IDENTITY,
+    Identity,
+    ScanContext,
+    SparseJacobian,
+)
+from repro.sparse import CSRMatrix
+
+
+def sparse_from(rng, m, n, density=0.6, batch=None):
+    dense = (rng.random((m, n)) < density) * rng.standard_normal((m, n))
+    pattern = CSRMatrix.from_dense(np.where(dense != 0, 1.0, 0.0))
+    if batch is None:
+        return SparseJacobian(CSRMatrix.from_dense(dense)), dense
+    data = rng.standard_normal((batch, pattern.nnz))
+    per_sample = np.zeros((batch, m, n))
+    rows = pattern.row_ids()
+    per_sample[:, rows, pattern.indices] = data
+    return SparseJacobian(pattern, data), per_sample
+
+
+class TestIdentityLaws:
+    def test_identity_is_singleton(self):
+        assert Identity() is IDENTITY
+
+    def test_left_right_identity(self, rng):
+        ctx = ScanContext()
+        m = DenseJacobian(rng.standard_normal((3, 3)))
+        assert ctx.op(IDENTITY, m) is m
+        assert ctx.op(m, IDENTITY) is m
+        assert ctx.total_flops == 0 and not ctx.trace
+
+
+class TestMatVec:
+    def test_dense_shared(self, rng):
+        ctx = ScanContext()
+        v = GradientVector(rng.standard_normal((4, 5)))
+        m = DenseJacobian(rng.standard_normal((3, 5)))
+        out = ctx.op(v, m)
+        assert isinstance(out, GradientVector)
+        np.testing.assert_allclose(out.data, v.data @ m.data.T)
+        assert ctx.trace[-1].kind == "mv"
+        assert ctx.total_flops == 2 * 3 * 5 * 4
+
+    def test_dense_batched(self, rng):
+        ctx = ScanContext()
+        v = GradientVector(rng.standard_normal((4, 5)))
+        m = DenseJacobian(rng.standard_normal((4, 3, 5)))
+        out = ctx.op(v, m)
+        ref = np.einsum("bmn,bn->bm", m.data, v.data)
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_sparse(self, rng):
+        ctx = ScanContext()
+        v = GradientVector(rng.standard_normal((2, 6)))
+        s, dense = sparse_from(rng, 4, 6, batch=2)
+        out = ctx.op(v, s)
+        ref = np.einsum("bmn,bn->bm", dense, v.data)
+        np.testing.assert_allclose(out.data, ref)
+        assert ctx.total_flops == 2 * s.nnz * 2
+
+    def test_vector_cannot_be_right_operand(self, rng):
+        ctx = ScanContext()
+        v = GradientVector(rng.standard_normal((1, 3)))
+        with pytest.raises(TypeError, match="right operand"):
+            ctx.op(v, v)
+
+    def test_shape_mismatch(self, rng):
+        ctx = ScanContext()
+        v = GradientVector(rng.standard_normal((1, 4)))
+        m = DenseJacobian(rng.standard_normal((3, 5)))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ctx.op(v, m)
+
+
+class TestMatMat:
+    def test_dense_dense_shared(self, rng):
+        ctx = ScanContext()
+        a = DenseJacobian(rng.standard_normal((4, 6)))
+        b = DenseJacobian(rng.standard_normal((3, 4)))
+        out = ctx.op(a, b)  # B @ A
+        np.testing.assert_allclose(out.data, b.data @ a.data)
+        rec = ctx.trace[-1]
+        assert rec.kind == "mm" and rec.dense_mnk == 3 * 6 * 4
+
+    def test_dense_batched_mixed(self, rng):
+        ctx = ScanContext()
+        a = DenseJacobian(rng.standard_normal((2, 4, 6)))
+        b = DenseJacobian(rng.standard_normal((3, 4)))
+        out = ctx.op(a, b)
+        ref = np.einsum("mk,bkn->bmn", b.data, a.data)
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_sparse_sparse_shared(self, rng):
+        ctx = ScanContext(densify_threshold=None)
+        a, da = sparse_from(rng, 4, 5, 0.4)
+        b, db = sparse_from(rng, 3, 4, 0.4)
+        out = ctx.op(a, b)
+        assert isinstance(out, SparseJacobian)
+        np.testing.assert_allclose(out.pattern.to_dense(), db @ da, atol=1e-12)
+
+    def test_sparse_sparse_batched(self, rng):
+        ctx = ScanContext(densify_threshold=None)
+        a, da = sparse_from(rng, 4, 5, 0.5, batch=3)
+        b, db = sparse_from(rng, 3, 4, 0.5, batch=3)
+        out = ctx.op(a, b)
+        assert isinstance(out, SparseJacobian) and out.batch == 3
+        dense = out.to_dense().data
+        for i in range(3):
+            np.testing.assert_allclose(dense[i], db[i] @ da[i], atol=1e-12)
+
+    def test_sparse_shared_times_batched(self, rng):
+        ctx = ScanContext(densify_threshold=None)
+        a, da = sparse_from(rng, 4, 5, 0.5, batch=2)
+        b, db = sparse_from(rng, 3, 4, 0.5)
+        out = ctx.op(a, b)
+        dense = out.to_dense().data
+        for i in range(2):
+            np.testing.assert_allclose(dense[i], db @ da[i], atol=1e-12)
+
+    def test_sparse_dense_mix(self, rng):
+        ctx = ScanContext()
+        a, da = sparse_from(rng, 4, 5, 0.5)
+        b = DenseJacobian(rng.standard_normal((3, 4)))
+        out = ctx.op(a, b)
+        assert isinstance(out, DenseJacobian)
+        np.testing.assert_allclose(out.data, b.data @ da, atol=1e-12)
+        out2 = ctx.op(DenseJacobian(da), sparse_from(rng, 3, 4, 0.5)[0])
+        assert isinstance(out2, DenseJacobian)
+
+    def test_densify_threshold(self, rng):
+        ctx = ScanContext(densify_threshold=0.0)  # densify everything
+        a, _ = sparse_from(rng, 4, 4, 0.9)
+        b, _ = sparse_from(rng, 4, 4, 0.9)
+        out = ctx.op(a, b)
+        assert isinstance(out, DenseJacobian)
+
+    def test_plan_cache_reused_across_ops(self, rng):
+        ctx = ScanContext(densify_threshold=None)
+        a, _ = sparse_from(rng, 4, 4, 0.5)
+        b, _ = sparse_from(rng, 4, 4, 0.5)
+        ctx.op(a, b)
+        ctx.op(a, b)
+        assert ctx.cache.hits == 1 and ctx.cache.misses == 1
+
+    def test_inconsistent_batch_raises(self, rng):
+        ctx = ScanContext()
+        a = DenseJacobian(rng.standard_normal((2, 4, 5)))
+        b = DenseJacobian(rng.standard_normal((3, 3, 4)))
+        with pytest.raises(ValueError, match="batch"):
+            ctx.op(a, b)
+
+
+class TestElementTypes:
+    def test_gradient_vector_validation(self, rng):
+        v = GradientVector(rng.standard_normal(5))
+        assert v.batch == 1 and v.dim == 5
+        with pytest.raises(ValueError):
+            GradientVector(rng.standard_normal((2, 3, 4)))
+
+    def test_sparse_jacobian_data_validation(self, rng):
+        s, _ = sparse_from(rng, 3, 3, 0.5)
+        with pytest.raises(ValueError):
+            SparseJacobian(s.pattern, rng.standard_normal((2, s.nnz + 1)))
+
+    def test_sparse_to_dense_shared_and_batched(self, rng):
+        shared, dense = sparse_from(rng, 3, 4, 0.5)
+        np.testing.assert_allclose(shared.to_dense().data, dense)
+        batched, per_sample = sparse_from(rng, 3, 4, 0.5, batch=2)
+        np.testing.assert_allclose(batched.to_dense().data, per_sample)
+
+    def test_reprs(self, rng):
+        v = GradientVector(rng.standard_normal((2, 3)))
+        assert "B=2" in repr(v)
+        d = DenseJacobian(rng.standard_normal((3, 3)))
+        assert "shared" in repr(d)
+
+    def test_reset_trace(self, rng):
+        ctx = ScanContext()
+        ctx.op(GradientVector(rng.standard_normal((1, 3))),
+               DenseJacobian(rng.standard_normal((3, 3))))
+        ctx.reset_trace()
+        assert ctx.total_flops == 0 and not ctx.trace

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the sparse engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import CSRMatrix, build_spgemm_plan, spgemm, spgemm_flops
+
+dim = st.integers(min_value=1, max_value=12)
+density = st.floats(min_value=0.0, max_value=0.9)
+
+
+def make(seed, m, n, p):
+    rng = np.random.default_rng(seed)
+    return (rng.random((m, n)) < p) * rng.standard_normal((m, n))
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dim, n=dim, p=density, seed=st.integers(0, 2**16))
+def test_roundtrip(m, n, p, seed):
+    dense = make(seed, m, n, p)
+    mat = CSRMatrix.from_dense(dense)
+    mat.validate()
+    np.testing.assert_allclose(mat.to_dense(), dense)
+    assert mat.nnz == int((dense != 0).sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dim, k=dim, n=dim, pa=density, pb=density, seed=st.integers(0, 2**16))
+def test_spgemm_equals_dense(m, k, n, pa, pb, seed):
+    A = make(seed, m, k, pa)
+    B = make(seed + 1, k, n, pb)
+    C = spgemm(CSRMatrix.from_dense(A), CSRMatrix.from_dense(B))
+    C.validate()
+    np.testing.assert_allclose(C.to_dense(), A @ B, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dim, n=dim, p=density, seed=st.integers(0, 2**16))
+def test_transpose_involution(m, n, p, seed):
+    dense = make(seed, m, n, p)
+    mat = CSRMatrix.from_dense(dense)
+    tt = mat.transpose().transpose()
+    tt.validate()
+    np.testing.assert_allclose(tt.to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dim, k=dim, n=dim, seed=st.integers(0, 2**16))
+def test_identity_laws(m, k, n, seed):
+    from repro.sparse import csr_eye
+
+    A = make(seed, m, k, 0.4)
+    a = CSRMatrix.from_dense(A)
+    left = spgemm(csr_eye(m), a)
+    right = spgemm(a, csr_eye(k))
+    np.testing.assert_allclose(left.to_dense(), A)
+    np.testing.assert_allclose(right.to_dense(), A)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=dim, k=dim, n=dim, seed=st.integers(0, 2**16))
+def test_plan_flops_consistent(m, k, n, seed):
+    a = CSRMatrix.from_dense(make(seed, m, k, 0.5))
+    b = CSRMatrix.from_dense(make(seed + 1, k, n, 0.5))
+    plan = build_spgemm_plan(a, b)
+    assert plan.flops == spgemm_flops(a, b)
+    assert plan.out_nnz <= plan.flops // 2 or plan.flops == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=dim, n=dim, seed=st.integers(0, 2**16))
+def test_matvec_linearity(m, n, seed):
+    rng = np.random.default_rng(seed)
+    mat = CSRMatrix.from_dense(make(seed, m, n, 0.5))
+    x, y = rng.standard_normal(n), rng.standard_normal(n)
+    np.testing.assert_allclose(
+        mat.matvec(2.0 * x + y),
+        2.0 * mat.matvec(x) + mat.matvec(y),
+        atol=1e-10,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dim, k=dim, n=dim, batch=st.integers(1, 4), seed=st.integers(0, 2**16))
+def test_execute_batched_consistency(m, k, n, batch, seed):
+    rng = np.random.default_rng(seed)
+    a = CSRMatrix.from_dense(make(seed, m, k, 0.5))
+    b = CSRMatrix.from_dense(make(seed + 1, k, n, 0.5))
+    plan = build_spgemm_plan(a, b)
+    da = rng.standard_normal((batch, a.nnz))
+    db = rng.standard_normal((batch, b.nnz))
+    out = plan.execute_batched(da, db)
+    assert out.shape == (batch, plan.out_nnz)
+    for i in range(batch):
+        ref = plan.execute(a.with_data(da[i]), b.with_data(db[i]))
+        np.testing.assert_allclose(out[i], ref.data, atol=1e-10)

@@ -1,0 +1,131 @@
+"""Tests for two-phase SpGEMM and the pattern-plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    PatternCache,
+    build_spgemm_plan,
+    spgemm,
+    spgemm_flops,
+)
+
+
+def random_sparse(rng, m, n, density=0.3):
+    return (rng.random((m, n)) < density) * rng.standard_normal((m, n))
+
+
+class TestSpGEMM:
+    @pytest.mark.parametrize("shapes", [(4, 5, 6), (1, 1, 1), (10, 3, 8)])
+    def test_matches_dense(self, rng, shapes):
+        m, k, n = shapes
+        A = random_sparse(rng, m, k)
+        B = random_sparse(rng, k, n)
+        C = spgemm(CSRMatrix.from_dense(A), CSRMatrix.from_dense(B))
+        C.validate()
+        np.testing.assert_allclose(C.to_dense(), A @ B, atol=1e-12)
+
+    def test_shape_mismatch(self, rng):
+        a = CSRMatrix.from_dense(random_sparse(rng, 3, 4))
+        b = CSRMatrix.from_dense(random_sparse(rng, 5, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            spgemm(a, b)
+
+    def test_empty_result(self, rng):
+        a = CSRMatrix.from_dense(np.zeros((3, 4)))
+        b = CSRMatrix.from_dense(random_sparse(rng, 4, 5))
+        c = spgemm(a, b)
+        assert c.nnz == 0 and c.shape == (3, 5)
+
+    def test_flops_equals_two_expansion(self, rng):
+        A = random_sparse(rng, 6, 7)
+        B = random_sparse(rng, 7, 5)
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        plan = build_spgemm_plan(a, b)
+        # expansion = Σ_k nnz(A[:,k])·nnz(B[k,:])
+        expected = sum(
+            int((A[:, k] != 0).sum()) * int((B[k, :] != 0).sum()) for k in range(7)
+        )
+        assert plan.flops == 2 * expected == spgemm_flops(a, b)
+
+    def test_plan_numeric_phase_with_new_values(self, rng):
+        """The paper's reuse: same pattern, new data, no symbolic work."""
+        A = random_sparse(rng, 5, 5)
+        B = random_sparse(rng, 5, 5)
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        plan = build_spgemm_plan(a, b)
+        a2 = a.with_data(rng.standard_normal(a.nnz))
+        c = plan.execute(a2, b)
+        np.testing.assert_allclose(c.to_dense(), a2.to_dense() @ B, atol=1e-12)
+
+    def test_execute_batched_matches_loop(self, rng):
+        A = random_sparse(rng, 5, 6)
+        B = random_sparse(rng, 6, 4)
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        plan = build_spgemm_plan(a, b)
+        data_a = rng.standard_normal((3, a.nnz))
+        data_b = rng.standard_normal((3, b.nnz))
+        out = plan.execute_batched(data_a, data_b)
+        for i in range(3):
+            ref = plan.execute(a.with_data(data_a[i]), b.with_data(data_b[i]))
+            np.testing.assert_allclose(out[i], ref.data, atol=1e-12)
+
+    def test_execute_batched_broadcasts_shared_side(self, rng):
+        A = random_sparse(rng, 4, 4)
+        B = random_sparse(rng, 4, 4)
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        plan = build_spgemm_plan(a, b)
+        data_b = rng.standard_normal((2, b.nnz))
+        out = plan.execute_batched(a.data, data_b)
+        assert out.shape == (2, plan.out_nnz)
+        for i in range(2):
+            ref = plan.execute(a, b.with_data(data_b[i]))
+            np.testing.assert_allclose(out[i], ref.data, atol=1e-12)
+
+
+class TestPatternCache:
+    def test_hit_on_same_pattern_new_values(self, rng):
+        A = random_sparse(rng, 6, 6)
+        B = random_sparse(rng, 6, 6)
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        cache = PatternCache()
+        cache.multiply(a, b)
+        cache.multiply(a.with_data(rng.standard_normal(a.nnz)), b)
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+
+    def test_miss_on_different_pattern(self, rng):
+        cache = PatternCache()
+        cache.multiply(
+            CSRMatrix.from_dense(random_sparse(rng, 4, 4)),
+            CSRMatrix.from_dense(random_sparse(rng, 4, 4)),
+        )
+        cache.multiply(
+            CSRMatrix.from_dense(random_sparse(rng, 4, 4)),
+            CSRMatrix.from_dense(random_sparse(rng, 4, 4)),
+        )
+        assert cache.misses == 2
+
+    def test_maxsize_bounds_storage(self, rng):
+        cache = PatternCache(maxsize=1)
+        for _ in range(3):
+            cache.multiply(
+                CSRMatrix.from_dense(random_sparse(rng, 3, 3)),
+                CSRMatrix.from_dense(random_sparse(rng, 3, 3)),
+            )
+        assert len(cache) == 1
+
+    def test_clear(self, rng):
+        cache = PatternCache()
+        a = CSRMatrix.from_dense(random_sparse(rng, 3, 3))
+        cache.multiply(a, a)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_multiply_correct(self, rng):
+        A = random_sparse(rng, 5, 4)
+        B = random_sparse(rng, 4, 6)
+        out = PatternCache().multiply(
+            CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        )
+        np.testing.assert_allclose(out.to_dense(), A @ B, atol=1e-12)

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the autodiff substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, ops
+from repro.tensor.function import unbroadcast
+from repro.tensor.grad_check import autograd_jacobian, numerical_jacobian
+
+dims = st.integers(min_value=1, max_value=5)
+
+
+def _arr(rng_seed: int, *shape: int) -> np.ndarray:
+    return np.random.default_rng(rng_seed).standard_normal(shape)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dims, k=dims, n=dims, seed=st.integers(0, 2**16))
+def test_matmul_jacobian_matches_numerical(m, k, n, seed):
+    """d(AB)/dA from the tape equals central finite differences."""
+    b = _arr(seed + 1, k, n)
+
+    def tape_fn(t):
+        return t.reshape(m, k) @ Tensor(b)
+
+    def np_fn(a):
+        return a.reshape(m, k) @ b
+
+    x = _arr(seed, m * k)
+    np.testing.assert_allclose(
+        autograd_jacobian(tape_fn, x), numerical_jacobian(np_fn, x), atol=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 30), seed=st.integers(0, 2**16))
+def test_tanh_chain_jacobian(n, seed):
+    x = _arr(seed, n)
+    J = autograd_jacobian(lambda t: t.tanh().tanh(), x)
+    ref = numerical_jacobian(lambda a: np.tanh(np.tanh(a)), x)
+    np.testing.assert_allclose(J, ref, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.lists(dims, min_size=1, max_size=3),
+    extra=st.lists(dims, min_size=0, max_size=2),
+    seed=st.integers(0, 2**16),
+)
+def test_unbroadcast_inverts_broadcasting(shape, extra, seed):
+    """Summing a broadcast gradient returns the operand's shape and mass."""
+    rng = np.random.default_rng(seed)
+    # Randomly squeeze axes to 1 to simulate broadcasting sources.
+    src_shape = tuple(1 if rng.random() < 0.4 else s for s in shape)
+    big_shape = tuple(extra) + tuple(shape)
+    g = rng.standard_normal(big_shape)
+    out = unbroadcast(g, src_shape)
+    assert out.shape == src_shape
+    np.testing.assert_allclose(out.sum(), g.sum(), rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(1, 3),
+    c=st.integers(1, 3),
+    hw=st.integers(4, 8),
+    seed=st.integers(0, 2**16),
+)
+def test_pools_partition_gradient_mass(batch, c, hw, seed):
+    """Avg-pool backward distributes exactly the upstream mass."""
+    x = Tensor(_arr(seed, batch, c, hw, hw), requires_grad=True)
+    out = ops.avg_pool2d(x, 2)
+    g = np.ones_like(out.data)
+    out.backward(g)
+    np.testing.assert_allclose(x.grad.sum(), g.sum(), rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(1, 3),
+    c=st.integers(1, 2),
+    hw=st.sampled_from([4, 6, 8]),
+    seed=st.integers(0, 2**16),
+)
+def test_max_pool_routes_each_window_once(batch, c, hw, seed):
+    """Max-pool backward puts each window's gradient on exactly one cell."""
+    x = Tensor(_arr(seed, batch, c, hw, hw), requires_grad=True)
+    out = ops.max_pool2d(x, 2)
+    out.backward(np.ones_like(out.data))
+    # each window contributes exactly 1.0 of gradient mass
+    assert np.isclose(x.grad.sum(), out.data.size)
+    # and gradients are 0/1 valued (ties are measure-zero for floats)
+    assert set(np.unique(x.grad)) <= {0.0, 1.0}
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 6), m=st.integers(1, 6), seed=st.integers(0, 2**16))
+def test_softmax_jacobian_rows_sum_zero(n, m, seed):
+    """Softmax Jacobian rows sum to zero (probability conservation)."""
+    x = _arr(seed, n * m)
+    J = autograd_jacobian(
+        lambda t: ops.softmax(t.reshape(n, m), axis=-1), x
+    )
+    # Each output row block sums over inputs of the same sample to 0.
+    np.testing.assert_allclose(J.sum(axis=1), np.zeros(n * m), atol=1e-10)
