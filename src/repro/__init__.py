@@ -31,6 +31,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.sparse``          CSR + plan-cached SpGEMM
 ``repro.jacobian``        analytical transposed-Jacobian generators
 ``repro.scan``            the ⊙ operator; Blelloch / linear / truncated
+``repro.backend``         pluggable scan executors: serial/thread/process
 ``repro.core``            BPPSA engines and trainers
 ``repro.pram``            PRAM/GPU simulator and device catalog
 ``repro.pipeline``        GPipe / PipeDream / naïve baselines
@@ -50,6 +51,7 @@ __all__ = [
     "sparse",
     "jacobian",
     "scan",
+    "backend",
     "core",
     "pram",
     "pipeline",

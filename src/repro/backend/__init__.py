@@ -1,0 +1,78 @@
+"""Pluggable scan-execution backends — *where* the ⊙ ops of a level run.
+
+The BPPSA scan algorithms (:mod:`repro.scan.algorithms`) expose their
+parallelism as levels of mutually independent ⊙ applications.  This
+package is the seam between that schedule and the machine: an executor
+receives one level at a time as :class:`LevelTask` records and decides
+how to run it — inline, on a thread pool, or in worker processes with
+shared-memory ndarray transport.  Every backend preserves per-op
+association order, so **all backends produce bitwise-identical
+results**; they differ only in wall-clock.
+
+Backends
+--------
+``serial``  (:class:`SerialExecutor`)
+    Inline execution on the calling thread; the zero-overhead default
+    and the reference all other backends are tested against.
+``thread``  (:class:`ThreadPoolScanExecutor`)
+    One thread pool; overlaps levels of large BLAS products (NumPy
+    releases the GIL inside gemm).
+``process`` (:class:`ProcessPoolScanExecutor`)
+    Worker processes + ``multiprocessing.shared_memory``; large dense
+    Jacobian products escape the GIL entirely, everything small or
+    sparse stays inline in the parent.
+
+Usage::
+
+    from repro.backend import get_executor
+    from repro.scan import ScanContext, blelloch_scan
+
+    with get_executor("thread:8") as ex:
+        out = blelloch_scan(items, ScanContext().op, executor=ex)
+
+or end to end through an engine, by spec string::
+
+    engine = RNNBPPSA(clf, executor="process:4")
+
+The default for every ``executor=None`` call site is taken from the
+``REPRO_SCAN_BACKEND`` environment variable (falling back to
+``"serial"``), so a whole experiment run can be switched to another
+backend without touching code::
+
+    REPRO_SCAN_BACKEND=thread:8 python -m repro.experiments.run_all
+
+Custom backends implement :class:`ScanExecutor` and join the registry
+via :func:`register_backend`; from then on any engine accepts their
+spec string.  This is the plug point for future device-style backends
+(sharded, async, GPU-like).
+"""
+
+from repro.backend.executor import (
+    ExecutorOwner,
+    LevelTask,
+    ScanExecutor,
+    SerialExecutor,
+    ThreadPoolScanExecutor,
+)
+from repro.backend.registry import (
+    ENV_VAR,
+    available_backends,
+    default_executor,
+    get_executor,
+    register_backend,
+)
+from repro.backend.process import ProcessPoolScanExecutor
+
+__all__ = [
+    "ExecutorOwner",
+    "LevelTask",
+    "ScanExecutor",
+    "SerialExecutor",
+    "ThreadPoolScanExecutor",
+    "ProcessPoolScanExecutor",
+    "ENV_VAR",
+    "available_backends",
+    "default_executor",
+    "get_executor",
+    "register_backend",
+]

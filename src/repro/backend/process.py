@@ -1,0 +1,248 @@
+"""Process-pool scan executor with shared-memory ndarray transport.
+
+Threads only help while BLAS holds the GIL released; everything else —
+CSR SpGEMM in pure NumPy indexing, element bookkeeping, small-matrix
+products — serializes on it.  This executor side-steps the GIL by
+running a level's ⊙ products in **worker processes**, moving the dense
+operands through :mod:`multiprocessing.shared_memory` so a large
+Jacobian crosses the process boundary as one memcpy instead of a
+pickle round-trip.
+
+The offload is deliberately narrow.  A task is shipped to a worker
+only when
+
+* both operands are :class:`~repro.scan.elements.DenseJacobian` (the
+  dense matrix–matrix products that dominate the up-sweep's top
+  levels — paper Section 5.2's cost argument),
+* the op is a :class:`~repro.scan.elements.ScanContext` ⊙ (so the
+  parent knows the product semantics ``a ⊙ b = b·a`` and can keep the
+  FLOP trace), and
+* the per-sample ``m·n·k`` volume clears ``min_offload_mnk`` —
+  shipping tiny products costs more than computing them.
+
+Everything else (mat–vec seeds, sparse ops, symbolic/string scans)
+runs inline in the parent, which also guarantees those ops see the
+parent's pattern cache.  Workers compute exactly ``np.matmul(b, a)``
+— the same call the in-process dense path makes — so results are
+bitwise-identical to the serial executor.  The offloaded product is
+accounted in the parent via
+:meth:`~repro.scan.elements.ScanContext.record_dense_matmat`; within a
+level, offloaded records land after inline ones (ops of one level are
+unordered by construction, so the DAG grouping is unaffected).
+
+If the platform cannot spawn workers or allocate shared memory (e.g.
+a locked-down sandbox), the executor degrades permanently to inline
+execution rather than failing the scan.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.executor import LevelTask, ScanExecutor
+from repro.scan.elements import DenseJacobian, ScanContext
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    Workers are forked *after* the parent starts its resource tracker
+    (see ``_ensure_pool``), so they inherit the same tracker process:
+    the attach's re-registration is an idempotent set-add there, and
+    the parent's ``unlink`` remains the single cleanup point.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _matmat_worker(
+    b_name: str,
+    b_shape: Tuple[int, ...],
+    a_name: str,
+    a_shape: Tuple[int, ...],
+    out_name: str,
+    out_shape: Tuple[int, ...],
+    dtype: str,
+) -> bool:
+    """Compute ``out = b @ a`` between shared-memory segments."""
+    shms = []
+    try:
+        b_shm = _attach(b_name)
+        shms.append(b_shm)
+        a_shm = _attach(a_name)
+        shms.append(a_shm)
+        out_shm = _attach(out_name)
+        shms.append(out_shm)
+        b = np.ndarray(b_shape, dtype=dtype, buffer=b_shm.buf)
+        a = np.ndarray(a_shape, dtype=dtype, buffer=a_shm.buf)
+        out = np.ndarray(out_shape, dtype=dtype, buffer=out_shm.buf)
+        # Same call as ScanContext's dense path, then one copy out —
+        # never matmul(..., out=...), whose kernel choice could differ.
+        out[...] = np.matmul(b, a)
+        return True
+    finally:
+        for shm in shms:
+            shm.close()
+
+
+class ProcessPoolScanExecutor(ScanExecutor):
+    """Run large dense ⊙ products of each level in worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Process-pool size.  The pool is created lazily on the first
+        level that actually offloads, so constructing the executor is
+        cheap.
+    min_offload_mnk:
+        Minimum per-sample ``m·n·k`` volume of a dense product for it
+        to be worth shipping to a worker; smaller products run inline.
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers: int = 2, min_offload_mnk: int = 4096) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.min_offload_mnk = min_offload_mnk
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    @property
+    def workers(self) -> int:
+        return self.num_workers
+
+    # ------------------------------------------------------------------
+    def _offloadable(self, task: LevelTask) -> bool:
+        if not (
+            isinstance(task.a, DenseJacobian) and isinstance(task.b, DenseJacobian)
+        ):
+            return False
+        if not isinstance(getattr(task.op, "__self__", None), ScanContext):
+            return False
+        if task.a.data.dtype != np.float64 or task.b.data.dtype != np.float64:
+            return False
+        m, k = task.b.shape
+        n = task.a.shape[1]
+        return m * k * n >= self.min_offload_mnk
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Start the shm resource tracker before forking so workers
+            # inherit it; their attach-registrations then land in the
+            # parent's tracker (a set — idempotent) instead of spawning
+            # per-child trackers that would fight over unlinking.
+            resource_tracker.ensure_running()
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # platform without fork
+                ctx = mp.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers, mp_context=ctx
+            )
+        return self._pool
+
+    @staticmethod
+    def _share(arr: np.ndarray) -> shared_memory.SharedMemory:
+        shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        return shm
+
+    # ------------------------------------------------------------------
+    def run_level(self, tasks: Sequence[LevelTask]) -> List[Any]:
+        if self._broken or len(tasks) == 1:
+            return [t.run() for t in tasks]
+        offload = {i for i, t in enumerate(tasks) if self._offloadable(t)}
+        if len(offload) < 2:  # one offloaded op just makes the parent wait
+            return [t.run() for t in tasks]
+        try:
+            pool = self._ensure_pool()
+        except Exception:
+            self._broken = True
+            return [t.run() for t in tasks]
+
+        results: List[Any] = [None] * len(tasks)
+        segments: List[shared_memory.SharedMemory] = []
+        futures = []
+        try:
+            for i in sorted(offload):
+                t = tasks[i]
+                b_arr, a_arr = t.b.data, t.a.data
+                out_shape = np.broadcast_shapes(
+                    b_arr.shape[:-2], a_arr.shape[:-2]
+                ) + (b_arr.shape[-2], a_arr.shape[-1])
+                shm_b = self._share(b_arr)
+                segments.append(shm_b)
+                shm_a = self._share(a_arr)
+                segments.append(shm_a)
+                out_nbytes = int(np.prod(out_shape)) * b_arr.dtype.itemsize
+                shm_out = shared_memory.SharedMemory(
+                    create=True, size=max(out_nbytes, 1)
+                )
+                segments.append(shm_out)
+                fut = pool.submit(
+                    _matmat_worker,
+                    shm_b.name,
+                    b_arr.shape,
+                    shm_a.name,
+                    a_arr.shape,
+                    shm_out.name,
+                    out_shape,
+                    str(b_arr.dtype),
+                )
+                futures.append((i, fut, shm_out, out_shape))
+
+            # Small/sparse/mat-vec tasks run inline while workers chug.
+            for i, t in enumerate(tasks):
+                if i not in offload:
+                    results[i] = t.run()
+
+            for i, fut, shm_out, out_shape in futures:
+                fut.result()
+                out = np.array(
+                    np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
+                )
+                t = tasks[i]
+                result = DenseJacobian(out)
+                t.op.__self__.record_dense_matmat(t.a, t.b, t.info, result)
+                results[i] = result
+        except Exception as exc:
+            # Something in the offload path failed.  Recompute only the
+            # tasks that never produced a result (completed ones already
+            # recorded their FLOPs; re-running them would double-count
+            # the trace).  If the inline re-run raises too, the ⊙
+            # itself is at fault (e.g. a shape mismatch): propagate and
+            # leave the pool usable.  If it succeeds, the worker/IPC
+            # machinery is what broke — warn and degrade permanently.
+            for i, t in enumerate(tasks):
+                if results[i] is None:
+                    results[i] = t.run()
+            self._broken = True
+            self.close()
+            warnings.warn(
+                "process scan backend disabled after worker/IPC failure "
+                f"({exc!r}); continuing with inline execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return results
+        finally:
+            for shm in segments:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

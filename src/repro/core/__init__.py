@@ -18,6 +18,12 @@ Entry points
 :class:`Trainer`
     optimizer-agnostic training loop that can swap between baseline BP
     and BPPSA, used by the convergence experiments (Figs. 7 and 9).
+
+Both engines and the trainer accept ``executor=`` — a scan-backend
+spec string (``"serial"``, ``"thread:8"``, ``"process:4"``) or a
+:class:`~repro.backend.ScanExecutor` — selecting *where* each scan
+level's independent ⊙ ops run; gradients are bitwise-identical on
+every backend (see :mod:`repro.backend`).
 """
 
 from repro.core.feedforward import FeedforwardBPPSA

@@ -17,10 +17,11 @@ floating-point reassociation (paper Section 3.5).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.backend import ExecutorOwner, ScanExecutor
 from repro.jacobian.dispatch import BatchedJacobian, layer_tjac_batched
 from repro.nn import layers as L
 from repro.nn.loss import softmax_xent_grad
@@ -41,7 +42,7 @@ from repro.tensor import Tensor, no_grad
 _ALGORITHMS = ("blelloch", "linear", "hillis_steele", "truncated")
 
 
-class FeedforwardBPPSA:
+class FeedforwardBPPSA(ExecutorOwner):
     """Gradient engine running BP as a parallel scan over a Sequential.
 
     Parameters
@@ -59,6 +60,13 @@ class FeedforwardBPPSA:
         entries ≤ tol — the pruned-retraining configuration.
     densify_threshold:
         Forwarded to :class:`~repro.scan.elements.ScanContext`.
+    executor:
+        Scan-execution backend: a spec string (``"serial"``,
+        ``"thread:8"``, ``"process:4"`` — see :mod:`repro.backend`), an
+        executor instance, or ``None`` for the process-wide
+        ``REPRO_SCAN_BACKEND`` default.  Every backend yields
+        bitwise-identical gradients; call :meth:`close` (or use the
+        engine as a context manager) to release pooled workers.
     """
 
     def __init__(
@@ -69,6 +77,7 @@ class FeedforwardBPPSA:
         sparse_linear_tol: Optional[float] = None,
         densify_threshold: Optional[float] = 0.25,
         pattern_cache: Optional[PatternCache] = None,
+        executor: Union[str, ScanExecutor, None] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
@@ -76,6 +85,7 @@ class FeedforwardBPPSA:
         self.algorithm = algorithm
         self.up_levels = up_levels
         self.sparse_linear_tol = sparse_linear_tol
+        self.set_executor(executor)
         self.context = ScanContext(
             pattern_cache=pattern_cache, densify_threshold=densify_threshold
         )
@@ -173,12 +183,17 @@ class FeedforwardBPPSA:
         if self.algorithm == "linear":
             return linear_scan(items, self.context.op)
         if self.algorithm == "hillis_steele":
-            return hillis_steele_scan(items, self.context.op)
+            return hillis_steele_scan(
+                items, self.context.op, executor=self.executor
+            )
         if self.algorithm == "truncated":
             return truncated_blelloch_scan(
-                items, self.context.op, up_levels=self.up_levels
+                items,
+                self.context.op,
+                up_levels=self.up_levels,
+                executor=self.executor,
             )
-        return blelloch_scan(items, self.context.op)
+        return blelloch_scan(items, self.context.op, executor=self.executor)
 
     def _accumulate_param_grads(
         self, layer, idx: int, g_out: np.ndarray, grads: Dict[int, np.ndarray]

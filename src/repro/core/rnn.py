@@ -14,10 +14,11 @@ Eq. 2 with no dependency along t.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Union
 
 import numpy as np
 
+from repro.backend import ExecutorOwner, ScanExecutor
 from repro.nn.loss import softmax_xent_grad
 from repro.nn.rnn import RNNClassifier
 from repro.scan import (
@@ -33,20 +34,31 @@ from repro.scan import (
 _ALGORITHMS = ("blelloch", "linear", "hillis_steele", "truncated")
 
 
-class RNNBPPSA:
-    """Scan-based gradient engine for :class:`~repro.nn.rnn.RNNClassifier`."""
+class RNNBPPSA(ExecutorOwner):
+    """Scan-based gradient engine for :class:`~repro.nn.rnn.RNNClassifier`.
+
+    ``executor`` selects the scan-execution backend: a spec string
+    (``"serial"``, ``"thread:8"``, ``"process:4"`` — see
+    :mod:`repro.backend`), an executor instance, or ``None`` to follow
+    the process-wide ``REPRO_SCAN_BACKEND`` default.  Executors created
+    here from a spec string are owned by the engine; call
+    :meth:`close` (or use the engine as a context manager) to release
+    their workers.  Every backend yields bitwise-identical gradients.
+    """
 
     def __init__(
         self,
         classifier: RNNClassifier,
         algorithm: str = "blelloch",
         up_levels: int = 2,
+        executor: Union[str, ScanExecutor, None] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
         self.clf = classifier
         self.algorithm = algorithm
         self.up_levels = up_levels
+        self.set_executor(executor)
         self.context = ScanContext(densify_threshold=None)
 
     # ------------------------------------------------------------------
@@ -114,13 +126,18 @@ class RNNBPPSA:
         if self.algorithm == "linear":
             scanned = linear_scan(items, self.context.op)
         elif self.algorithm == "hillis_steele":
-            scanned = hillis_steele_scan(items, self.context.op)
+            scanned = hillis_steele_scan(
+                items, self.context.op, executor=self.executor
+            )
         elif self.algorithm == "truncated":
             scanned = truncated_blelloch_scan(
-                items, self.context.op, up_levels=self.up_levels
+                items,
+                self.context.op,
+                up_levels=self.up_levels,
+                executor=self.executor,
             )
         else:
-            scanned = blelloch_scan(items, self.context.op)
+            scanned = blelloch_scan(items, self.context.op, executor=self.executor)
 
         # out[p] = ∇h_{T−p+1} for p = 1..T.
         batch, hidden = grad_h_last.shape

@@ -64,6 +64,13 @@ class Trainer:
         ``apply_gradients`` (a BPPSA engine).
     forward_fn:
         Model forward for the baseline path; defaults to ``model(x)``.
+    executor:
+        Optional scan-backend override for the engine — a spec string
+        (``"thread:8"``, ``"process:4"``, …) or a
+        :class:`~repro.backend.ScanExecutor`.  Convenience for
+        experiment drivers that construct the engine elsewhere but
+        choose the backend per run; requires ``engine`` to be a BPPSA
+        engine (the taped baseline has no scan to dispatch).
     """
 
     def __init__(
@@ -72,10 +79,26 @@ class Trainer:
         optimizer: Optimizer,
         engine=None,
         forward_fn: Optional[Callable[[Tensor], Tensor]] = None,
+        executor=None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.engine = engine
+        if executor is not None:
+            if engine is None:
+                raise ValueError(
+                    "executor= selects the scan backend of a BPPSA engine; "
+                    "pass engine= as well (baseline BP has no scan)"
+                )
+            if not hasattr(engine, "set_executor"):
+                # No silent fallback: assigning a fresh pool to an
+                # engine without the ownership protocol would leak it.
+                raise TypeError(
+                    "engine does not implement set_executor (the "
+                    "repro.backend.ExecutorOwner protocol); construct "
+                    "the engine with its executor instead"
+                )
+            engine.set_executor(executor)  # disposes a previously owned pool
         self.forward_fn = forward_fn if forward_fn is not None else model
         self.loss_fn = CrossEntropyLoss()
 

@@ -49,11 +49,15 @@ def _fresh_model(width: float, seed: int) -> Sequential:
 
 
 def _train(
-    use_bppsa: bool, p: Dict, seed: int
+    use_bppsa: bool, p: Dict, seed: int, executor=None
 ) -> Dict:
     model = _fresh_model(p["width"], seed)
     opt = SGD(model.parameters(), lr=LR, momentum=MOMENTUM)
-    engine = FeedforwardBPPSA(model, algorithm="blelloch") if use_bppsa else None
+    engine = (
+        FeedforwardBPPSA(model, algorithm="blelloch", executor=executor)
+        if use_bppsa
+        else None
+    )
     trainer = Trainer(model, opt, engine=engine)
     train = SyntheticImages(num_samples=p["samples"], seed=seed, train=True)
     test = SyntheticImages(num_samples=p["test_samples"], seed=seed, train=False)
@@ -61,22 +65,30 @@ def _train(
     losses, test_losses = [], []
     it = 0
     epoch = 0
-    while it < p["iterations"]:
-        for x, y in train.batches(p["batch"], epoch_seed=epoch):
-            if it >= p["iterations"]:
-                break
-            loss, _ = trainer.train_step(x, y)
-            losses.append(loss)
-            it += 1
-        epoch += 1
-    test_loss, test_acc = trainer.evaluate(test.batches(p["batch"]))
+    try:
+        while it < p["iterations"]:
+            for x, y in train.batches(p["batch"], epoch_seed=epoch):
+                if it >= p["iterations"]:
+                    break
+                loss, _ = trainer.train_step(x, y)
+                losses.append(loss)
+                it += 1
+            epoch += 1
+        test_loss, test_acc = trainer.evaluate(test.batches(p["batch"]))
+    finally:
+        if engine is not None:
+            engine.close()
     return {"train_losses": losses, "test_loss": test_loss, "test_acc": test_acc}
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None) -> Dict:
+    """Reproduce the figure; ``executor`` picks the scan backend for
+    the BPPSA run (``"serial"``, ``"thread:N"``, ``"process:N"``) —
+    gradients, and hence the loss curve, are identical on every
+    backend."""
     p = PARAMS[scale]
     baseline = _train(use_bppsa=False, p=p, seed=seed)
-    bppsa = _train(use_bppsa=True, p=p, seed=seed)
+    bppsa = _train(use_bppsa=True, p=p, seed=seed, executor=executor)
     a = np.asarray(baseline["train_losses"])
     b = np.asarray(bppsa["train_losses"])
     return {

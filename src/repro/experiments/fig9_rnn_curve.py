@@ -32,27 +32,39 @@ PARAMS = {
 LR = 3e-5
 
 
-def _train(use_bppsa: bool, p: Dict, seed: int) -> Dict:
+def _train(use_bppsa: bool, p: Dict, seed: int, executor=None) -> Dict:
     clf = RNNClassifier(1, p["hidden"], 10, rng=np.random.default_rng(seed))
     opt = Adam(clf.parameters(), lr=LR)
-    engine = RNNBPPSA(clf, algorithm="blelloch") if use_bppsa else None
+    engine = (
+        RNNBPPSA(clf, algorithm="blelloch", executor=executor)
+        if use_bppsa
+        else None
+    )
     trainer = Trainer(clf, opt, engine=engine)
     ds = BitstreamDataset(seq_len=p["seq_len"], num_samples=4096, seed=seed)
-    result = trainer.fit(
-        ds.batches(p["batch"], num_batches=p["iterations"]),
-        max_iterations=p["iterations"],
-    )
+    try:
+        result = trainer.fit(
+            ds.batches(p["batch"], num_batches=p["iterations"]),
+            max_iterations=p["iterations"],
+        )
+    finally:
+        if engine is not None:
+            engine.close()
     return {
         "losses": result.losses,
         "measured_backward_s": result.total_backward_seconds,
     }
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None) -> Dict:
+    """Reproduce the figure; ``executor`` picks the scan backend for
+    the BPPSA run (``"serial"``, ``"thread:N"``, ``"process:N"``) —
+    gradients, and hence the loss curve, are identical on every
+    backend."""
     p = PARAMS[scale]
     timing = simulate_rnn_iteration(p["seq_len"], p["batch"], p["hidden"], RTX_2070)
     baseline = _train(False, p, seed)
-    bppsa = _train(True, p, seed)
+    bppsa = _train(True, p, seed, executor=executor)
 
     iters = np.arange(1, p["iterations"] + 1)
     base_iter_s = timing.forward_seconds + timing.baseline_backward_seconds

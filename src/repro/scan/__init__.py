@@ -18,6 +18,15 @@ producing ``[I, ∇x_n ℓ, ..., ∇x_1 ℓ]``.  This package provides:
   (up-sweep only to level k, serial matrix–vector middle, down-sweep
   from level k), used by the pruned-VGG-11 benchmark;
 * a scan-DAG builder for the PRAM simulator (Figure 4's schedule).
+
+*Where* each level's independent ⊙ ops execute is pluggable: every
+parallel scan takes ``executor=`` — a backend spec string
+(``"serial"``, ``"thread:8"``, ``"process:4"``), a
+:class:`~repro.backend.ScanExecutor` instance, or ``None`` for the
+``REPRO_SCAN_BACKEND`` default.  See :mod:`repro.backend`; the
+registry entry points (:func:`get_executor`, :func:`register_backend`,
+:func:`available_backends`) and the executor base class are re-exported
+here for convenience.
 """
 
 from repro.scan.elements import (
@@ -38,7 +47,14 @@ from repro.scan.algorithms import (
     simple_op,
     truncated_blelloch_scan,
 )
-from repro.scan.parallel import ParallelScanExecutor
+# Submodule imports (not `from repro.backend import …`): repro.backend's
+# own __init__ may still be mid-import when this package loads.
+from repro.backend.executor import LevelTask, ScanExecutor
+from repro.backend.registry import (
+    available_backends,
+    get_executor,
+    register_backend,
+)
 from repro.scan.dag import (
     ScanDAG,
     TaskNode,
@@ -63,7 +79,11 @@ __all__ = [
     "hillis_steele_scan",
     "truncated_blelloch_scan",
     "simple_op",
-    "ParallelScanExecutor",
+    "LevelTask",
+    "ScanExecutor",
+    "available_backends",
+    "get_executor",
+    "register_backend",
     "ScanDAG",
     "TaskNode",
     "build_blelloch_dag",

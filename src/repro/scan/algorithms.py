@@ -1,12 +1,20 @@
 """Scan algorithms: linear (serial BP), Blelloch (Algorithm 1),
 Hillis–Steele, and the truncated/balanced Blelloch of Section 5.2.
 
-All executors are generic over the operator: they take
+All algorithms are generic over the operator: they take
 ``op(a, b, info) -> element`` where ``info`` is an
 :class:`~repro.scan.elements.OpInfo` describing phase/level/positions.
-The same executors therefore run (a) numerically via
+The same algorithms therefore run (a) numerically via
 :class:`~repro.scan.elements.ScanContext` and (b) symbolically via the
 PRAM cost model — one schedule feeds both planes.
+
+*Where* each level's independent ⊙ ops run is delegated to a
+:class:`~repro.backend.ScanExecutor`: every parallel scan accepts an
+``executor=`` argument (a backend spec string like ``"thread:8"``, an
+executor instance, or ``None`` for the process-wide default — see
+:mod:`repro.backend`).  The three sweeps share one level-dispatch
+core, and every backend preserves per-op association order, so results
+are bitwise-identical across executors.
 
 Indexing follows the paper exactly: the input array ``a`` has ``n+1``
 entries ``a[0..n]`` (gradient vector followed by ``n`` transposed
@@ -17,15 +25,39 @@ Jacobians) and the exclusive scan output is
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, List, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.backend.executor import LevelTask, ScanExecutor
+from repro.backend.registry import get_executor
 from repro.scan.elements import IDENTITY, Identity, OpInfo
 
 OpFn = Callable[[Any, Any, OpInfo], Any]
 
+ExecutorLike = Union[str, ScanExecutor, None]
+
+
+@contextmanager
+def _resolved_executor(spec: ExecutorLike) -> Iterator[ScanExecutor]:
+    """Resolve ``executor=`` for the duration of one scan.
+
+    A spec *string* creates a fresh executor that this scan owns, so it
+    is closed on exit — otherwise every ``blelloch_scan(...,
+    executor="thread:8")`` in a training loop would leak a pool.  For
+    pool reuse across scans, pass an executor instance (or construct
+    the engine with the spec); instances and the ``None`` default are
+    caller/process-owned and left open.
+    """
+    ex = get_executor(spec)
+    try:
+        yield ex
+    finally:
+        if isinstance(spec, str):
+            ex.close()
+
 
 def simple_op(fn: Callable[[Any, Any], Any]) -> OpFn:
-    """Adapt a plain two-argument ⊙ implementation to the executor API."""
+    """Adapt a plain two-argument ⊙ implementation to the scan API."""
 
     def wrapped(a: Any, b: Any, info: OpInfo) -> Any:
         return fn(a, b)
@@ -41,12 +73,73 @@ def blelloch_num_levels(length: int) -> int:
     return max(1, math.ceil(math.log2(length)))
 
 
-def linear_scan(items: Sequence[Any], op: OpFn, identity: Any = IDENTITY) -> List[Any]:
+# ---------------------------------------------------------------------------
+# the shared level-dispatch core
+# ---------------------------------------------------------------------------
+def _level_pairs(n: int, d: int) -> List[Tuple[int, int]]:
+    """The (l, r) slot pairs touched at sweep level ``d`` (Algorithm 1's
+    index arithmetic, with the paper's clamp ``r = min(·, n)``)."""
+    step = 1 << (d + 1)
+    return [
+        (i + (1 << d) - 1, min(i + step - 1, n))
+        for i in range(0, n - (1 << d) + 1, step)
+    ]
+
+
+def _up_sweep(
+    a: List[Any], op: OpFn, n: int, d_values: Iterable[int], ex: ScanExecutor
+) -> None:
+    """Up-sweep levels: ``a[r] ← a[l] ⊙ a[r]`` (Algorithm 1 lines 1–5)."""
+    for d in d_values:
+        pairs = _level_pairs(n, d)
+        tasks = [
+            LevelTask(op, a[l], a[r], OpInfo("up", d, l, r)) for l, r in pairs
+        ]
+        for (_, r), res in zip(pairs, ex.run_level(tasks)):
+            a[r] = res
+
+
+def _down_sweep(
+    a: List[Any], op: OpFn, n: int, d_values: Iterable[int], ex: ScanExecutor
+) -> None:
+    """Down-sweep levels (Algorithm 1 lines 8–13, operand order reversed
+    for the non-commutative ⊙):
+    ``T ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ T``.
+
+    Operands are snapshotted per level before dispatch; the pairs of
+    one level are disjoint, so this is exactly the sequential in-place
+    semantics.
+    """
+    for d in d_values:
+        pairs = _level_pairs(n, d)
+        snap = [(a[l], a[r]) for l, r in pairs]
+        tasks = [
+            LevelTask(op, ar, al, OpInfo("down", d, l, r))
+            for (l, r), (al, ar) in zip(pairs, snap)
+        ]
+        results = ex.run_level(tasks)
+        for (l, r), (_, ar), res in zip(pairs, snap, results):
+            a[l] = ar
+            a[r] = res
+
+
+# ---------------------------------------------------------------------------
+# the scans
+# ---------------------------------------------------------------------------
+def linear_scan(
+    items: Sequence[Any],
+    op: OpFn,
+    identity: Any = IDENTITY,
+    executor: ExecutorLike = None,
+) -> List[Any]:
     """Serial exclusive scan — the baseline equivalent to sequential BP.
 
     ``out[k] = a[0] ⊙ a[1] ⊙ ... ⊙ a[k−1]`` with ``out[0] = I``; every
     step is a matrix–vector product when ``a[0]`` is the gradient
     vector, exactly like Eq. 3 executed layer by layer.
+
+    ``executor`` is accepted for API uniformity but unused: each step
+    depends on the previous one, so there is nothing to dispatch.
     """
     out: List[Any] = [identity]
     acc = identity
@@ -57,7 +150,10 @@ def linear_scan(items: Sequence[Any], op: OpFn, identity: Any = IDENTITY) -> Lis
 
 
 def blelloch_scan(
-    items: Sequence[Any], op: OpFn, identity: Any = IDENTITY
+    items: Sequence[Any],
+    op: OpFn,
+    identity: Any = IDENTITY,
+    executor: ExecutorLike = None,
 ) -> List[Any]:
     """The paper's modified Blelloch scan (Algorithm 1).
 
@@ -66,8 +162,9 @@ def blelloch_scan(
     ``T ← a[l]; a[l] ← a[r]; a[r] ← a[r] ⊙ T``.
 
     Operations at the same (phase, level) are mutually independent and
-    may run in parallel; serial execution here preserves the exact
-    multiplication order and hence bitwise behaviour.
+    are dispatched level-by-level to ``executor``; every backend
+    preserves the exact per-op multiplication order and hence bitwise
+    behaviour.
     """
     a = list(items)
     n = len(a) - 1
@@ -75,47 +172,45 @@ def blelloch_scan(
         return [identity]
     levels = blelloch_num_levels(n + 1)
 
-    for d in range(levels - 1):  # paper: d = 0 .. ⌈log(n+1)⌉−2
-        step = 1 << (d + 1)
-        for i in range(0, n - (1 << d) + 1, step):
-            l = i + (1 << d) - 1
-            r = min(i + step - 1, n)
-            a[r] = op(a[l], a[r], OpInfo("up", d, l, r))
-
-    a[n] = identity
-
-    for d in range(levels - 1, -1, -1):
-        step = 1 << (d + 1)
-        for i in range(0, n - (1 << d) + 1, step):
-            l = i + (1 << d) - 1
-            r = min(i + step - 1, n)
-            t = a[l]
-            a[l] = a[r]
-            a[r] = op(a[r], t, OpInfo("down", d, l, r))
+    with _resolved_executor(executor) as ex:
+        _up_sweep(a, op, n, range(levels - 1), ex)  # d = 0 .. ⌈log(n+1)⌉−2
+        a[n] = identity
+        _down_sweep(a, op, n, range(levels - 1, -1, -1), ex)
     return a
 
 
 def hillis_steele_scan(
-    items: Sequence[Any], op: OpFn, identity: Any = IDENTITY
+    items: Sequence[Any],
+    op: OpFn,
+    identity: Any = IDENTITY,
+    executor: ExecutorLike = None,
 ) -> List[Any]:
     """Hillis & Steele (1986) scan, shifted to exclusive form.
 
     Step-optimal (⌈log n⌉ steps even with clamping) but work-inefficient
     (Θ(n log n)); included as the classic alternative the paper cites.
     Correct for non-commutative operators because each update combines a
-    left segment with the adjacent right segment in order.
+    left segment with the adjacent right segment in order.  Each level
+    reads the previous level's snapshot, so its ops are independent and
+    dispatch to ``executor`` like the Blelloch sweeps.
     """
     n = len(items)
     a = list(items)
     d = 1
     level = 0
-    while d < n:
-        prev = a
-        a = list(prev)
-        for i in range(d, n):
-            a[i] = op(prev[i - d], prev[i], OpInfo("hs", level, i - d, i))
-        d <<= 1
-        level += 1
+    with _resolved_executor(executor) as ex:
+        while d < n:
+            prev = a
+            a = list(prev)
+            idxs = range(d, n)
+            tasks = [
+                LevelTask(op, prev[i - d], prev[i], OpInfo("hs", level, i - d, i))
+                for i in idxs
+            ]
+            for i, res in zip(idxs, ex.run_level(tasks)):
+                a[i] = res
+            d <<= 1
+            level += 1
     # inclusive → exclusive: shift right, drop the total.
     return [identity] + a[:-1]
 
@@ -125,6 +220,7 @@ def truncated_blelloch_scan(
     op: OpFn,
     up_levels: int,
     identity: Any = IDENTITY,
+    executor: ExecutorLike = None,
 ) -> List[Any]:
     """Section 5.2's balanced variant.
 
@@ -133,7 +229,8 @@ def truncated_blelloch_scan(
     because block 0's summary is gradient-seeded), places them at the
     block roots, then runs the down-sweep for levels
     ``up_levels−1 .. 0``.  Equivalent output to :func:`blelloch_scan`;
-    avoids the densest high-level matrix–matrix products.
+    avoids the densest high-level matrix–matrix products.  The parallel
+    partial sweeps dispatch to ``executor``; the middle stays serial.
 
     ``up_levels=0`` degenerates to a pure linear scan;
     ``up_levels ≥ ⌈log2(n+1)⌉−1`` degenerates to the full Blelloch scan.
@@ -145,33 +242,22 @@ def truncated_blelloch_scan(
     levels = blelloch_num_levels(n + 1)
     k = max(0, min(up_levels, levels - 1))
 
-    # --- partial up-sweep (parallel levels 0..k−1) -----------------------
-    for d in range(k):
-        step = 1 << (d + 1)
-        for i in range(0, n - (1 << d) + 1, step):
-            l = i + (1 << d) - 1
-            r = min(i + step - 1, n)
-            a[r] = op(a[l], a[r], OpInfo("up", d, l, r))
+    with _resolved_executor(executor) as ex:
+        # --- partial up-sweep (parallel levels 0..k−1) -------------------
+        _up_sweep(a, op, n, range(k), ex)
 
-    # --- serial middle: exclusive prefixes of block summaries ------------
-    block = 1 << k
-    roots = [min(start + block - 1, n) for start in range(0, n + 1, block)]
-    prefix = identity
-    for m, root in enumerate(roots):
-        summary = a[root]
-        a[root] = prefix
-        if m < len(roots) - 1:
-            prefix = op(
-                prefix, summary, OpInfo("serial-mid", k, root, roots[m + 1])
-            )
+        # --- serial middle: exclusive prefixes of block summaries --------
+        block = 1 << k
+        roots = [min(start + block - 1, n) for start in range(0, n + 1, block)]
+        prefix = identity
+        for m, root in enumerate(roots):
+            summary = a[root]
+            a[root] = prefix
+            if m < len(roots) - 1:
+                prefix = op(
+                    prefix, summary, OpInfo("serial-mid", k, root, roots[m + 1])
+                )
 
-    # --- partial down-sweep (parallel levels k−1..0) ----------------------
-    for d in range(k - 1, -1, -1):
-        step = 1 << (d + 1)
-        for i in range(0, n - (1 << d) + 1, step):
-            l = i + (1 << d) - 1
-            r = min(i + step - 1, n)
-            t = a[l]
-            a[l] = a[r]
-            a[r] = op(a[r], t, OpInfo("down", d, l, r))
+        # --- partial down-sweep (parallel levels k−1..0) ------------------
+        _down_sweep(a, op, n, range(k - 1, -1, -1), ex)
     return a

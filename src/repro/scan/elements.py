@@ -28,6 +28,7 @@ the quantities Figure 11 plots per scan step.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
@@ -82,12 +83,18 @@ class DenseJacobian:
     """A batch of dense transposed Jacobians.
 
     ``data``: (d_in, d_out) shared across samples or (B, d_in, d_out).
+
+    Storage is canonicalized to C-contiguous: BLAS kernels can produce
+    different last-bit results for strided vs. contiguous operands, so
+    a single canonical layout is what keeps every execution backend
+    (inline, thread, process/shared-memory) bitwise-identical — and
+    gemm prefers contiguous inputs anyway.
     """
 
     __slots__ = ("data",)
 
     def __init__(self, data: np.ndarray) -> None:
-        data = np.asarray(data, dtype=np.float64)
+        data = np.ascontiguousarray(data, dtype=np.float64)
         if data.ndim not in (2, 3):
             raise ValueError(f"expected 2-D or 3-D array, got {data.shape}")
         self.data = data
@@ -208,11 +215,28 @@ class ScanContext:
         self.densify_threshold = densify_threshold
         self.trace: List[StepRecord] = []
         self.total_flops = 0
+        # ⊙ may be evaluated concurrently by a thread-backend scan
+        # level; the numeric work is pure, so the lock only guards the
+        # trace/FLOP bookkeeping.  Record order within one level is
+        # then scheduling-dependent — harmless, since same-level ops
+        # are unordered by construction (dag_from_trace groups by
+        # (phase, level), not position).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def reset_trace(self) -> None:
-        self.trace = []
-        self.total_flops = 0
+        with self._lock:
+            self.trace = []
+            self.total_flops = 0
+
+    def _record(self, info: OpInfo, kind: str, flops: int, mnk: int,
+                result: ScanElement) -> None:
+        with self._lock:
+            self.total_flops += flops
+            self.trace.append(
+                StepRecord(info=info, kind=kind, flops=flops, dense_mnk=mnk,
+                           out_repr=repr(result))
+            )
 
     def op(self, a: ScanElement, b: ScanElement, info: Optional[OpInfo] = None):
         """Apply ``a ⊙ b`` (= ``b·a``), recording cost."""
@@ -231,11 +255,7 @@ class ScanContext:
         else:
             result, flops, mnk = self._matmat(b, a)
             kind = "mm"
-        self.total_flops += flops
-        self.trace.append(
-            StepRecord(info=info, kind=kind, flops=flops, dense_mnk=mnk,
-                       out_repr=repr(result))
-        )
+        self._record(info, kind, flops, mnk, result)
         return result
 
     # ------------------------------------------------------------------
@@ -293,9 +313,26 @@ class ScanContext:
         elif isinstance(a, SparseJacobian):
             flops = 2 * a.nnz * m * max(batch or 1, 1)
         else:
-            flops = 2 * mnk * max(batch or 1, 1)
+            flops, _ = _dense_mm_cost(a, b)
         out_data = b_dense @ a_dense if (b_dense.ndim == 2 and a_dense.ndim == 2) else np.matmul(b_dense, a_dense)
         return DenseJacobian(out_data), flops, mnk
+
+    def record_dense_matmat(
+        self,
+        a: DenseJacobian,
+        b: DenseJacobian,
+        info: OpInfo,
+        result: DenseJacobian,
+    ) -> None:
+        """Account for an ``a ⊙ b`` dense product computed externally.
+
+        The process-pool backend offloads the raw ``b·a`` matmul to a
+        worker; the cost bookkeeping must still happen here, in the
+        parent's trace, with exactly the figures the in-process dense
+        path would have recorded (both paths share ``_dense_mm_cost``).
+        """
+        flops, mnk = _dense_mm_cost(a, b)
+        self._record(info, "mm", flops, mnk, result)
 
     def _maybe_densify(self, s: SparseJacobian) -> ScanElement:
         if (
@@ -304,6 +341,16 @@ class ScanContext:
         ):
             return s.to_dense()
         return s
+
+
+def _dense_mm_cost(a: ScanElement, b: ScanElement) -> Tuple[int, int]:
+    """(flops, m·n·k) of the dense product ``a ⊙ b = b·a`` — the single
+    source of truth for dense mat–mat accounting, shared by the
+    in-process path and the process backend's parent-side record."""
+    m, k = b.shape
+    n = a.shape[1]
+    mnk = m * n * k
+    return 2 * mnk * max(_result_batch(a, b) or 1, 1), mnk
 
 
 def _result_batch(a: ScanElement, b: ScanElement) -> Optional[int]:

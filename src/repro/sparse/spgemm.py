@@ -18,6 +18,7 @@ of removing cuSPARSE's per-call nnz-counting and index-merging.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -198,20 +199,29 @@ class PatternCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        # plan_for may be called concurrently from a thread-backend
+        # scan level; the symbolic phase is pure, so the lock only
+        # guards the check-then-insert and the counters.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def plan_for(self, a: CSRMatrix, b: CSRMatrix) -> SpGEMMPlan:
         key = (a.pattern_key(), b.pattern_key())
-        plan = self._plans.get(key)
-        if plan is None:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                return plan
             self.misses += 1
-            plan = build_spgemm_plan(a, b)
+        plan = build_spgemm_plan(a, b)
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                return existing  # another thread built it first
             if self.maxsize is None or len(self._plans) < self.maxsize:
                 self._plans[key] = plan
-        else:
-            self.hits += 1
         return plan
 
     def multiply(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
