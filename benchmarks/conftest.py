@@ -1,16 +1,23 @@
 """Benchmark-suite helpers.
 
 Every benchmark regenerates one paper artifact (table/figure); the
-rendered report is written to ``benchmarks/results/<artifact>.txt`` so
-a full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
-set of reproduced tables behind.
+rendered report is written to ``benchmarks/results/<artifact>.txt`` and
+— when the test passes structured rows — the machine-readable form to
+``benchmarks/results/<artifact>.json``, so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced tables behind as both text and data.  (The richer
+``BENCH_*.json`` timing records with environment fingerprints come from
+``python -m repro.bench``.)
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
+
+from repro.experiments.common import Scale, rows_document, to_jsonable
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,7 +30,21 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def save_report(results_dir):
-    def _save(name: str, text: str) -> None:
+    """Persist a rendered artifact report (and optionally its rows).
+
+    ``_save(name, text)`` writes ``results/<name>.txt``;
+    ``_save(name, text, rows)`` additionally writes
+    ``results/<name>.json`` holding the structured rows the text table
+    is a view over.
+    """
+
+    def _save(name: str, text: str, rows=None) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        if rows is not None:
+            # The benchmark suite always regenerates at SMOKE scale.
+            doc = rows_document(name, rows, scale=Scale.SMOKE)
+            (results_dir / f"{name}.json").write_text(
+                json.dumps(to_jsonable(doc), indent=2) + "\n"
+            )
 
     return _save

@@ -11,4 +11,8 @@ def test_ablation_truncation(benchmark, save_report):
     rows = {r["up_levels"]: r for r in result["rows"]}
     assert rows[0]["mm_steps"] == 0
     assert rows[2]["parallel_levels"] > rows[0]["parallel_levels"]
-    save_report("ablation_truncation", ablation_truncation.report(Scale.SMOKE))
+    save_report(
+        "ablation_truncation",
+        ablation_truncation.render_report(result),
+        ablation_truncation.result_rows(result),
+    )

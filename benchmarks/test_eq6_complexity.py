@@ -8,4 +8,8 @@ def test_eq6_complexity(benchmark, save_report):
     result = benchmark(eq6_complexity.run, Scale.SMOKE)
     for row in result["rows"]:
         assert row["work_blelloch"] <= 2 * (row["n"] + 1)
-    save_report("eq6_complexity", eq6_complexity.report(Scale.SMOKE))
+    save_report(
+        "eq6_complexity",
+        eq6_complexity.render_report(result),
+        eq6_complexity.result_rows(result),
+    )

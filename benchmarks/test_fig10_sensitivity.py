@@ -11,4 +11,8 @@ def test_fig10_sensitivity(benchmark, save_report):
     col = [r["RTX 2070 backward"] for r in t_rows]
     assert col == sorted(col)
     assert t_rows[-1]["RTX 2080Ti backward"] >= t_rows[-1]["RTX 2070 backward"]
-    save_report("fig10_sensitivity", fig10_sensitivity.report(Scale.SMOKE))
+    save_report(
+        "fig10_sensitivity",
+        fig10_sensitivity.render_report(result),
+        fig10_sensitivity.result_rows(result),
+    )

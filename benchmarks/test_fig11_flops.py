@@ -10,4 +10,8 @@ def test_fig11_flops(benchmark, save_report):
     )
     # the paper's conclusion: per-step complexity comparable to baseline
     assert result["per_step_ratio"] < 20.0
-    save_report("fig11_flops", fig11_flops.report(Scale.SMOKE))
+    save_report(
+        "fig11_flops",
+        fig11_flops.render_report(result),
+        fig11_flops.result_rows(result),
+    )

@@ -9,4 +9,8 @@ def test_fig3_pipeline(benchmark, save_report):
     rows = result["rows"]
     bubbles = [r["gpipe_bubble"] for r in rows]
     assert bubbles == sorted(bubbles)
-    save_report("fig3_pipeline", fig3_pipeline.report(Scale.SMOKE))
+    save_report(
+        "fig3_pipeline",
+        fig3_pipeline.render_report(result),
+        fig3_pipeline.result_rows(result),
+    )

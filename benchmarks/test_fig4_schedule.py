@@ -7,4 +7,8 @@ from repro.experiments.common import Scale
 def test_fig4_schedule(benchmark, save_report):
     result = benchmark(fig4_schedule.run, Scale.SMOKE)
     assert result["num_stages"] == 8
-    save_report("fig4_schedule", fig4_schedule.report(Scale.SMOKE))
+    save_report(
+        "fig4_schedule",
+        fig4_schedule.render_report(result),
+        fig4_schedule.result_rows(result),
+    )

@@ -7,4 +7,8 @@ from repro.experiments.common import Scale
 def test_fig6_patterns(benchmark, save_report):
     result = benchmark(fig6_patterns.run, Scale.SMOKE)
     assert result["conv"]["sparsity"] > 0.5
-    save_report("fig6_patterns", fig6_patterns.report(Scale.SMOKE))
+    save_report(
+        "fig6_patterns",
+        fig6_patterns.render_report(result),
+        fig6_patterns.result_rows(result),
+    )

@@ -39,4 +39,8 @@ def test_fig7_report(benchmark, save_report):
         fig7_convergence.run, args=(Scale.SMOKE,), rounds=1, iterations=1
     )
     assert result["max_train_divergence"] < 1e-8
-    save_report("fig7_convergence", fig7_convergence.report(Scale.SMOKE))
+    save_report(
+        "fig7_convergence",
+        fig7_convergence.render_report(result),
+        fig7_convergence.result_rows(result),
+    )

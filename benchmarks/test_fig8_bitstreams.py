@@ -13,4 +13,9 @@ def test_bitstream_batch_generation(benchmark, save_report):
 
     x, y = benchmark(one_batch)
     assert x.shape == (16, 1000, 1)
-    save_report("fig8_bitstreams", fig8_bitstreams.report(Scale.SMOKE))
+    result = fig8_bitstreams.run(Scale.SMOKE)
+    save_report(
+        "fig8_bitstreams",
+        fig8_bitstreams.render_report(result),
+        fig8_bitstreams.result_rows(result),
+    )

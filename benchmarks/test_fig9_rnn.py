@@ -53,4 +53,8 @@ def test_fig9_report(benchmark, save_report):
     )
     assert result["max_loss_divergence"] < 1e-9
     assert result["overall_speedup"] > 1.0
-    save_report("fig9_rnn_curve", fig9_rnn_curve.report(Scale.SMOKE))
+    save_report(
+        "fig9_rnn_curve",
+        fig9_rnn_curve.render_report(result),
+        fig9_rnn_curve.result_rows(result),
+    )

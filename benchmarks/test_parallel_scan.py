@@ -19,18 +19,21 @@ import numpy as np
 import pytest
 
 from repro.backend import get_executor
-from repro.scan import DenseJacobian, GradientVector, ScanContext, blelloch_scan
+from repro.bench.runner import SCAN_PARAMS, make_scan_items
+from repro.experiments.common import Scale
+from repro.scan import ScanContext, blelloch_scan
 
-T, B, H = 64, 1, 96  # larger matrices so BLAS dominates scheduling cost
+# Workload shared with the repro.bench runner, so the pytest timings and
+# the BENCH_parallel_backends.json records measure the same scan.
+# Larger matrices so BLAS dominates scheduling cost.
+_P = SCAN_PARAMS[Scale.SMOKE]
+T, B, H = _P["seq_len"], _P["batch"], _P["hidden"]
 
 BACKENDS = ["serial", "thread:2", "thread:4", "process:2"]
 
 
 def make_items():
-    rng = np.random.default_rng(0)
-    items = [GradientVector(rng.standard_normal((B, H)))]
-    items += [DenseJacobian(rng.standard_normal((H, H))) for _ in range(T)]
-    return items
+    return make_scan_items(T, B, H)
 
 
 @pytest.mark.parametrize("spec", BACKENDS)
@@ -78,6 +81,7 @@ def test_backend_report(save_report):
         f"{'-'*10}  {'-'*15}  {'-'*9}  -------",
     ]
     any_degraded = False
+    rows = []
     for spec in BACKENDS:
         best, out, degraded = timings[spec]
         identical = all(
@@ -91,6 +95,15 @@ def test_backend_report(save_report):
         lines.append(
             f"{label:>10}  {best * 1e3:>15.3f}  {serial_s / best:>8.2f}x  yes"
         )
+        rows.append(
+            {
+                "backend": spec,
+                "best_of_3_ms": best * 1e3,
+                "vs_serial": serial_s / best,
+                "bitwise_identical": identical,
+                "degraded": degraded,
+            }
+        )
     if any_degraded:
         lines.append("* backend degraded to inline execution on this platform")
-    save_report("parallel_backends", "\n".join(lines))
+    save_report("parallel_backends", "\n".join(lines), rows)

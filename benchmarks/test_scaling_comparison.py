@@ -12,4 +12,8 @@ def test_scaling_comparison(benchmark, save_report):
     bppsa = [r["bppsa"] for r in rows]
     assert bppsa == sorted(bppsa, reverse=True)
     assert result["crossover"] is not None
-    save_report("scaling_comparison", scaling_comparison.report(Scale.SMOKE))
+    save_report(
+        "scaling_comparison",
+        scaling_comparison.render_report(result),
+        scaling_comparison.result_rows(result),
+    )

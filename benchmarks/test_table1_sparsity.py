@@ -17,4 +17,9 @@ def test_analytical_conv_generation(benchmark, save_report):
     weight = rng.standard_normal((16, 3, 3, 3))
     tj = benchmark(conv2d_tjac, weight, (16, 16), 1, 1)
     assert tj.shape == (3 * 256, 16 * 256)
-    save_report("table1_sparsity", table1_sparsity.report(Scale.SMOKE))
+    result = table1_sparsity.run(Scale.SMOKE)
+    save_report(
+        "table1_sparsity",
+        table1_sparsity.render_report(result),
+        table1_sparsity.result_rows(result),
+    )

@@ -7,4 +7,8 @@ from repro.experiments.common import Scale
 def test_table2_devices(benchmark, save_report):
     result = benchmark(table2_devices.run, Scale.SMOKE)
     assert len(result["rows"]) == 2
-    save_report("table2_devices", table2_devices.report(Scale.SMOKE))
+    save_report(
+        "table2_devices",
+        table2_devices.render_report(result),
+        table2_devices.result_rows(result),
+    )

@@ -1,0 +1,163 @@
+"""Regression gating: diff two bench result files.
+
+Records are matched by ``(artifact, scale, backend)``; the compared
+statistic is the timing **median** (IQR is printed for context — a
+delta well inside the combined IQRs is noise, not signal).  A new
+median more than ``tolerance`` above the old one is a *regression*;
+more than ``tolerance`` below is an *improvement*; keys present on only
+one side are reported as *added*/*removed* but never gate.
+
+Command line (exits 1 on any regression unless ``--report-only``)::
+
+    python -m repro.bench.compare old.json new.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.env import comparable
+from repro.bench.record import BenchRecord
+from repro.bench.writer import load_records
+from repro.experiments.common import format_table
+
+#: Default fractional slowdown tolerated before a delta counts as a
+#: regression (0.25 → new median may be up to 1.25× the old one).
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Comparison outcome for one ``(artifact, scale, backend)`` key."""
+
+    artifact: str
+    scale: str
+    backend: str
+    old_median_s: Optional[float]
+    new_median_s: Optional[float]
+    ratio: Optional[float]
+    status: str  # "ok" | "regression" | "improved" | "added" | "removed"
+
+
+def compare_results(
+    old: Sequence[BenchRecord],
+    new: Sequence[BenchRecord],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Delta]:
+    """Diff two record sets; one :class:`Delta` per key on either side."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    old_by_key = {r.key: r for r in old}
+    new_by_key = {r.key: r for r in new}
+    deltas: List[Delta] = []
+    for key in sorted(set(old_by_key) | set(new_by_key)):
+        o, n = old_by_key.get(key), new_by_key.get(key)
+        artifact, scale, backend = key
+        if o is None:
+            deltas.append(
+                Delta(artifact, scale, backend, None, n.timing.median_s, None, "added")
+            )
+            continue
+        if n is None:
+            deltas.append(
+                Delta(
+                    artifact, scale, backend, o.timing.median_s, None, None, "removed"
+                )
+            )
+            continue
+        old_m, new_m = o.timing.median_s, n.timing.median_s
+        ratio = new_m / old_m if old_m > 0 else float("inf")
+        if new_m > old_m * (1.0 + tolerance):
+            status = "regression"
+        elif new_m < old_m * (1.0 - tolerance):
+            status = "improved"
+        else:
+            status = "ok"
+        deltas.append(Delta(artifact, scale, backend, old_m, new_m, ratio, status))
+    return deltas
+
+
+def has_regressions(deltas: Sequence[Delta]) -> bool:
+    """Whether any delta is a regression (the gate condition)."""
+    return any(d.status == "regression" for d in deltas)
+
+
+def render_comparison(deltas: Sequence[Delta]) -> str:
+    """The comparison as a plain-text table."""
+
+    def ms(v: Optional[float]) -> str:
+        return f"{v * 1e3:.2f}" if v is not None else "-"
+
+    rows = [
+        [
+            d.artifact,
+            d.scale,
+            d.backend,
+            ms(d.old_median_s),
+            ms(d.new_median_s),
+            f"{d.ratio:.2f}x" if d.ratio is not None else "-",
+            d.status,
+        ]
+        for d in deltas
+    ]
+    return format_table(
+        ["artifact", "scale", "backend", "old median (ms)", "new median (ms)",
+         "ratio", "status"],
+        rows,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Diff two bench result files and flag regressions.",
+    )
+    parser.add_argument("old", type=pathlib.Path, help="baseline bench.json")
+    parser.add_argument("new", type=pathlib.Path, help="candidate bench.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fractional slowdown allowed before a delta is a regression "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0 (CI report mode)",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_records(args.old)
+    new = load_records(args.new)
+    deltas = compare_results(old, new, tolerance=args.tolerance)
+    print(render_comparison(deltas))
+
+    if old and new and not comparable(old[0].environment, new[0].environment):
+        print(
+            "note: result files come from different environments "
+            "(python/numpy/machine/cpu_count differ) — timing deltas "
+            "are not trustworthy."
+        )
+    regressions = [d for d in deltas if d.status == "regression"]
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) beyond tolerance "
+            f"{args.tolerance:.0%}: "
+            + ", ".join(f"{d.artifact}[{d.backend}]" for d in regressions)
+        )
+        if not args.report_only:
+            return 1
+        print("(report-only mode: not failing)")
+    else:
+        print("no regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

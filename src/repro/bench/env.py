@@ -1,0 +1,51 @@
+"""Environment fingerprinting — *where* a benchmark number was taken.
+
+Timing results are only comparable within one environment; the
+fingerprint travels inside every :class:`~repro.bench.record.BenchRecord`
+so :mod:`repro.bench.compare` can warn when two files came from
+different machines or library versions.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.backend import ENV_VAR
+
+#: Fingerprint keys whose disagreement makes timings incomparable.
+COMPARABILITY_KEYS = ("python", "numpy", "machine", "cpu_count")
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """One-line description of the measurement environment.
+
+    Captures the interpreter (version + implementation), the NumPy
+    version (BLAS dispatch changes between releases), the platform and
+    CPU count, and the ``REPRO_SCAN_BACKEND`` environment variable
+    (the process-wide default backend for every ``executor=None`` call
+    site) — everything needed to judge whether two timing records are
+    comparable.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "scan_backend_env": os.environ.get(ENV_VAR),
+    }
+
+
+def comparable(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Whether timings fingerprinted by ``a`` and ``b`` can be compared.
+
+    Only the keys in :data:`COMPARABILITY_KEYS` matter; a different
+    ``scan_backend_env`` or kernel build does not invalidate a
+    comparison by itself.
+    """
+    return all(a.get(k) == b.get(k) for k in COMPARABILITY_KEYS)

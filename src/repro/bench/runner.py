@@ -1,0 +1,217 @@
+"""The bench runner — sweeps artifacts × executor specs into records.
+
+An artifact here is anything that can produce structured rows: the 13
+experiment modules (each exposing ``run(scale)`` + ``result_rows``)
+plus ``parallel_backends``, the raw Blelloch-scan microbenchmark that
+exercises the executor itself.  Backend-*sensitive* artifacts — the
+ones whose computation actually flows through a
+:class:`~repro.backend.executor.ScanExecutor` — are measured once per
+requested spec; the rest run once and record backend ``"n/a"`` so the
+sweep's cost stays proportional to what a backend can influence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.env import environment_fingerprint
+from repro.bench.record import BenchRecord
+from repro.bench.timing import measure
+from repro.experiments import (
+    ablation_truncation,
+    eq6_complexity,
+    fig3_pipeline,
+    fig4_schedule,
+    fig6_patterns,
+    fig7_convergence,
+    fig8_bitstreams,
+    fig9_rnn_curve,
+    fig10_sensitivity,
+    fig11_flops,
+    scaling_comparison,
+    table1_sparsity,
+    table2_devices,
+)
+from repro.experiments.common import Scale
+
+#: Backend value recorded for artifacts that never reach a scan executor.
+NO_BACKEND = "n/a"
+
+#: ``parallel_backends`` scan sizes (T steps, batch, hidden) per scale.
+#: The single source of truth for this workload — the pytest benchmark
+#: (``benchmarks/test_parallel_scan.py``) imports these sizes and
+#: :func:`make_scan_items`, so its timings and the
+#: ``BENCH_parallel_backends.json`` records measure the same scan.
+SCAN_PARAMS = {
+    Scale.SMOKE: {"seq_len": 64, "batch": 1, "hidden": 96},
+    Scale.PAPER: {"seq_len": 256, "batch": 1, "hidden": 128},
+}
+
+
+def make_scan_items(seq_len: int, batch: int, hidden: int, seed: int = 0) -> List[Any]:
+    """The ``parallel_backends`` scan input: a gradient seed + T dense
+    hidden×hidden Jacobians (deterministic in ``seed``)."""
+    from repro.scan import DenseJacobian, GradientVector
+
+    rng = np.random.default_rng(seed)
+    items: List[Any] = [GradientVector(rng.standard_normal((batch, hidden)))]
+    items += [
+        DenseJacobian(rng.standard_normal((hidden, hidden))) for _ in range(seq_len)
+    ]
+    return items
+
+
+@dataclass(frozen=True)
+class BenchArtifact:
+    """One benchmarkable artifact: a name plus its rows-producing step.
+
+    ``rows_fn(scale, spec)`` executes the artifact's data step under
+    executor spec ``spec`` (``None`` for backend-insensitive artifacts)
+    and returns the structured rows.  ``backend_sensitive`` marks
+    artifacts whose wall-clock a scan backend can change.
+    """
+
+    name: str
+    rows_fn: Callable[[Scale, Optional[str]], List[Dict[str, Any]]]
+    backend_sensitive: bool = False
+
+
+def _experiment(module) -> Callable[[Scale, Optional[str]], List[Dict[str, Any]]]:
+    def rows_fn(scale: Scale, spec: Optional[str]) -> List[Dict[str, Any]]:
+        return module.result_rows(module.run(scale))
+
+    return rows_fn
+
+
+def _engine_experiment(module) -> Callable[[Scale, Optional[str]], List[Dict[str, Any]]]:
+    def rows_fn(scale: Scale, spec: Optional[str]) -> List[Dict[str, Any]]:
+        return module.result_rows(module.run(scale, executor=spec))
+
+    return rows_fn
+
+
+def _parallel_backends_rows(scale: Scale, spec: Optional[str]) -> List[Dict[str, Any]]:
+    """One Blelloch scan over T dense H×H Jacobians on the given backend."""
+    from repro.backend import get_executor
+    from repro.scan import ScanContext, blelloch_scan
+
+    p = SCAN_PARAMS[scale]
+    t, b, h = p["seq_len"], p["batch"], p["hidden"]
+    items = make_scan_items(t, b, h)
+    with get_executor(spec or "serial") as ex:
+        out = blelloch_scan(items, ScanContext().op, executor=ex)
+    return [
+        {
+            "seq_len": t,
+            "batch": b,
+            "hidden": h,
+            "backend": spec or "serial",
+            "positions": len(out),
+        }
+    ]
+
+
+#: Every benchmarkable artifact, in run order (the 13 paper artifacts of
+#: :mod:`repro.experiments.run_all` plus the scan microbenchmark).
+ARTIFACTS: List[BenchArtifact] = [
+    BenchArtifact("table2_devices", _experiment(table2_devices)),
+    BenchArtifact("fig3_pipeline", _experiment(fig3_pipeline)),
+    BenchArtifact("fig4_schedule", _experiment(fig4_schedule)),
+    BenchArtifact("table1_sparsity", _experiment(table1_sparsity)),
+    BenchArtifact("fig6_patterns", _experiment(fig6_patterns)),
+    BenchArtifact("fig8_bitstreams", _experiment(fig8_bitstreams)),
+    BenchArtifact("eq6_complexity", _experiment(eq6_complexity)),
+    BenchArtifact("scaling_comparison", _experiment(scaling_comparison)),
+    BenchArtifact("fig10_sensitivity", _experiment(fig10_sensitivity)),
+    BenchArtifact("fig11_flops", _experiment(fig11_flops)),
+    BenchArtifact("ablation_truncation", _experiment(ablation_truncation)),
+    BenchArtifact(
+        "fig7_convergence", _engine_experiment(fig7_convergence), backend_sensitive=True
+    ),
+    BenchArtifact(
+        "fig9_rnn_curve", _engine_experiment(fig9_rnn_curve), backend_sensitive=True
+    ),
+    BenchArtifact("parallel_backends", _parallel_backends_rows, backend_sensitive=True),
+]
+
+_BY_NAME: Dict[str, BenchArtifact] = {a.name: a for a in ARTIFACTS}
+
+
+def artifact_names() -> List[str]:
+    """All benchmarkable artifact names, in run order."""
+    return [a.name for a in ARTIFACTS]
+
+
+def run_bench(
+    scale: Scale = Scale.SMOKE,
+    backends: Sequence[str] = ("serial",),
+    artifacts: Optional[Iterable[str]] = None,
+    *,
+    warmup: int = 0,
+    repeats: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchRecord]:
+    """Sweep ``artifacts`` × ``backends`` and return validated records.
+
+    Parameters
+    ----------
+    scale
+        Experiment size preset (``Scale.SMOKE`` for CI, ``Scale.PAPER``
+        for final runs).
+    backends
+        Executor specs from the :mod:`repro.backend` registry
+        (``"serial"``, ``"thread:2"``, ``"process:4"``, …).  Backend-
+        sensitive artifacts run once per spec; insensitive artifacts
+        run once with backend recorded as ``"n/a"``.
+    artifacts
+        Artifact names to run (default: all of :data:`ARTIFACTS`).
+    warmup, repeats
+        Un-timed / timed executions per measurement (see
+        :func:`repro.bench.timing.measure`).
+    progress
+        Optional callback receiving one human-readable line per
+        measurement as it completes.
+    """
+    if not backends:
+        raise ValueError("at least one backend spec is required")
+    if artifacts is None:
+        selected = list(ARTIFACTS)
+    else:
+        unknown = [n for n in artifacts if n not in _BY_NAME]
+        if unknown:
+            raise ValueError(
+                f"unknown artifact(s) {unknown}; available: {artifact_names()}"
+            )
+        selected = [_BY_NAME[n] for n in artifacts]
+
+    env = environment_fingerprint()
+    records: List[BenchRecord] = []
+    for artifact in selected:
+        specs: List[Optional[str]] = (
+            list(backends) if artifact.backend_sensitive else [None]
+        )
+        for spec in specs:
+            rows, stats = measure(
+                lambda: artifact.rows_fn(scale, spec),
+                warmup=warmup,
+                repeats=repeats,
+            )
+            record = BenchRecord(
+                artifact=artifact.name,
+                scale=scale.value,
+                backend=spec if spec is not None else NO_BACKEND,
+                timing=stats,
+                environment=env,
+                num_rows=len(rows),
+            )
+            records.append(record)
+            if progress is not None:
+                progress(
+                    f"{artifact.name} [{record.backend}] "
+                    f"median {stats.median_s * 1e3:.1f} ms, "
+                    f"{record.num_rows} rows"
+                )
+    return records

@@ -1,0 +1,33 @@
+"""Warmup/repeat wall-clock measurement for artifact data steps."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+from repro.bench.record import TimingStats
+
+
+def measure(
+    fn: Callable[[], Any], *, warmup: int = 0, repeats: int = 1
+) -> Tuple[Any, TimingStats]:
+    """Time ``fn()`` and return ``(last_result, TimingStats)``.
+
+    ``warmup`` un-timed calls run first (pool spin-up, cache priming,
+    BLAS thread wake-up), then ``repeats`` timed calls.  The result of
+    the final timed call is returned so callers never pay an extra
+    execution just to get the data the timed run already produced.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    times = []
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return result, TimingStats.from_times(times, warmup=warmup)

@@ -1,0 +1,94 @@
+"""JSON persistence for bench records.
+
+One sweep produces two kinds of files in the output directory:
+
+* ``BENCH_<artifact>.json`` — every record of one artifact, so a single
+  figure's timing history can be tracked in isolation;
+* ``bench.json`` — the combined result set, the unit
+  :mod:`repro.bench.compare` diffs and CI uploads.
+
+Both are ``{"schema_version": 1, "records": [...]}`` documents; every
+record validates against the :class:`~repro.bench.record.BenchRecord`
+schema on write *and* on read.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import uuid
+from typing import Any, Iterable, List, Sequence, Union
+
+from repro.bench.record import SCHEMA_VERSION, BenchRecord, SchemaError
+from repro.experiments.common import to_jsonable
+
+#: Filename of the combined result set.
+COMBINED_NAME = "bench.json"
+
+
+def _document(records: Sequence[BenchRecord], sweep_id: str, generated_at: str) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "sweep_id": sweep_id,
+        "generated_at": generated_at,
+        "records": [r.to_dict() for r in records],
+    }
+
+
+def write_results(
+    records: Sequence[BenchRecord],
+    out_dir: Union[str, pathlib.Path],
+    *,
+    combined_name: str = COMBINED_NAME,
+) -> pathlib.Path:
+    """Write per-artifact ``BENCH_*.json`` files plus the combined file.
+
+    Returns the path of the combined file.  ``out_dir`` is created if
+    missing; existing files for the same artifacts are overwritten.
+    Every file of one call shares a ``sweep_id`` and ``generated_at``
+    stamp — a partial sweep (``--artifacts …``) leaves other artifacts'
+    ``BENCH_*.json`` files from earlier sweeps in place, and the stamp
+    is how a consumer detects that those came from a different run than
+    the combined file.
+    """
+    sweep_id = uuid.uuid4().hex[:12]
+    generated_at = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    by_artifact: dict = {}
+    for r in records:
+        by_artifact.setdefault(r.artifact, []).append(r)
+    for artifact, group in by_artifact.items():
+        path = out / f"BENCH_{artifact}.json"
+        path.write_text(
+            json.dumps(to_jsonable(_document(group, sweep_id, generated_at)), indent=2)
+            + "\n"
+        )
+    combined = out / combined_name
+    combined.write_text(
+        json.dumps(to_jsonable(_document(records, sweep_id, generated_at)), indent=2)
+        + "\n"
+    )
+    return combined
+
+
+def load_records(path: Union[str, pathlib.Path]) -> List[BenchRecord]:
+    """Load and validate the records of one result file.
+
+    Accepts both the ``{"schema_version", "records"}`` document form
+    and a bare list of record dicts; raises
+    :class:`~repro.bench.record.SchemaError` on anything malformed.
+    """
+    raw = json.loads(pathlib.Path(path).read_text())
+    if isinstance(raw, dict):
+        if "records" not in raw:
+            raise SchemaError(f"{path}: result document has no 'records' field")
+        items: Iterable[Any] = raw["records"]
+    elif isinstance(raw, list):
+        items = raw
+    else:
+        raise SchemaError(f"{path}: expected a JSON object or array")
+    return [BenchRecord.from_dict(d) for d in items]

@@ -1,28 +1,45 @@
 """Experiment harnesses — one module per paper table/figure.
 
-Every module exposes ``run(scale=Scale.SMOKE, **overrides) -> dict``
-returning structured results, and prints the paper's rows/series when
-executed as a script (``python -m repro.experiments.fig9_rnn_curve``).
+Every module exposes the same split API — the data step and pure views
+over it:
 
-=============  ========================================================
-Module         Paper artifact
-=============  ========================================================
-fig3_pipeline  Fig. 3 pipeline timing diagram + GPipe/PipeDream limits
-fig4_schedule  Fig. 4 Blelloch schedule on VGG-11's conv stack
-table1_sparsity Table 1 guaranteed-zero sparsity + generation speedup
-fig6_patterns  Fig. 6 transposed-Jacobian sparsity patterns
-fig7_convergence Fig. 7 LeNet-5 BP-vs-BPPSA loss curves
-fig8_bitstreams Fig. 8 bitstream dataset examples
-fig9_rnn_curve Fig. 9 RNN loss vs (simulated) wall-clock
-fig10_sensitivity Fig. 10 speedup vs sequence length and batch size
-fig11_flops    Fig. 11 per-step FLOPs, pruned VGG-11 retraining
-table2_devices Table 2 platform catalog
-eq6_complexity Eqs. 6–7 step/work complexity verification
-=============  ========================================================
+* ``run(scale=Scale.SMOKE, **overrides) -> dict`` — the full
+  structured result (the single execution everything else derives
+  from);
+* ``result_rows(result) -> list[dict]`` / ``rows(scale) ->
+  list[dict]`` — flat, JSON-ready rows (what :mod:`repro.bench`
+  records and ``run_all --out`` persists as ``<artifact>.json``);
+* ``render_report(result) -> str`` / ``report(scale) -> str`` — the
+  rendered plain-text artifact, a pure view over the structured data.
+
+Each module also prints the paper's rows/series when executed as a
+script (``python -m repro.experiments.fig9_rnn_curve``).  The engine
+experiments (``fig7_convergence``, ``fig9_rnn_curve``) additionally
+accept ``executor=`` — a scan-backend spec string from
+:mod:`repro.backend` (``"serial"``, ``"thread:8"``, ``"process:4"``).
+
+==================  ====================================================
+Module              Paper artifact
+==================  ====================================================
+fig3_pipeline       Fig. 3 pipeline timing diagram + GPipe/PipeDream limits
+fig4_schedule       Fig. 4 Blelloch schedule on VGG-11's conv stack
+table1_sparsity     Table 1 guaranteed-zero sparsity + generation speedup
+fig6_patterns       Fig. 6 transposed-Jacobian sparsity patterns
+fig7_convergence    Fig. 7 LeNet-5 BP-vs-BPPSA loss curves
+fig8_bitstreams     Fig. 8 bitstream dataset examples
+fig9_rnn_curve      Fig. 9 RNN loss vs (simulated) wall-clock
+fig10_sensitivity   Fig. 10 speedup vs sequence length and batch size
+fig11_flops         Fig. 11 per-step FLOPs, pruned VGG-11 retraining
+table2_devices      Table 2 platform catalog
+eq6_complexity      Eqs. 6–7 step/work complexity verification
+scaling_comparison  Fig. 1's scaling claim vs model-parallel baselines
+ablation_truncation §5.2 truncation-depth ablation
+==================  ====================================================
 
 ``SMOKE`` scale finishes in seconds (CI); ``PAPER`` scale matches the
 paper's parameters where feasible on CPU.  Shapes of the reported
-series are scale-invariant; EXPERIMENTS.md records both.
+series are scale-invariant; BENCHMARKS.md maps every artifact to its
+paper figure, knobs, and output format.
 """
 
 from repro.experiments.common import Scale

@@ -38,6 +38,7 @@ PARAMS = {
 
 
 def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+    """Sweep truncation depths over the pruned-VGG-11 scan analysis."""
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
     model = VGG11(rng=rng, width_multiplier=p["width"])
@@ -70,8 +71,19 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
     return {"rows": rows, "params": p}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per depth)."""
+    return [dict(row) for row in result["rows"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the depth sweep as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the depth-sweep table — a pure view over :func:`run` data."""
+    r = result
     headers = [
         "up_levels",
         "parallel levels",
@@ -96,6 +108,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + "\nshallower truncation trades parallel levels for cheaper steps "
         "(§5.2's balance)"
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

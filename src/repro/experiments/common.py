@@ -1,4 +1,13 @@
-"""Shared experiment utilities: scales, tables, series rendering."""
+"""Shared experiment utilities: scales, tables, series rendering.
+
+Every experiment module is split into a *data* step and a *view* step:
+``run(scale)`` computes the full structured result, ``result_rows``
+flattens it into JSON-ready rows (what :mod:`repro.bench` records and
+the ``.json`` reports persist), and ``render_report`` renders the
+plain-text artifact as a pure function of the structured data.  This
+module holds the pieces shared by all of them: the :class:`Scale`
+presets, the table/sparkline renderers, and :func:`to_jsonable`.
+"""
 
 from __future__ import annotations
 
@@ -56,8 +65,58 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
 
 
 def banner(title: str) -> str:
+    """The ``=== title ===`` header line used by every rendered report."""
     return f"\n=== {title} ===\n"
 
 
 def print_report(title: str, body: str) -> None:
+    """Print a rendered report under its banner (script entry points)."""
     print(banner(title) + body)
+
+
+def rows_document(
+    artifact: str,
+    rows: List[Dict[str, Any]],
+    *,
+    scale: "Scale | str | None" = None,
+    elapsed_s: "float | None" = None,
+) -> Dict[str, Any]:
+    """The canonical ``<artifact>.json`` document for structured rows.
+
+    Both ``run_all --out`` and the benchmark suite's ``save_report``
+    fixture write this one shape, so consumers of
+    ``benchmarks/results/<artifact>.json`` see a single schema
+    regardless of which tool produced the file.  ``scale`` and
+    ``elapsed_s`` are optional extras (present when the producer knows
+    them), never renamed core fields.
+    """
+    doc: Dict[str, Any] = {
+        "artifact": artifact,
+        "num_rows": len(rows),
+        "rows": rows,
+    }
+    if scale is not None:
+        doc["scale"] = scale.value if isinstance(scale, Scale) else str(scale)
+    if elapsed_s is not None:
+        doc["elapsed_s"] = elapsed_s
+    return doc
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert a result structure to JSON-serializable types.
+
+    NumPy scalars become Python scalars, ndarrays become nested lists,
+    tuples become lists; dict keys are stringified.  Anything already
+    JSON-native passes through unchanged.
+    """
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "tolist"):  # ndarray
+        return to_jsonable(obj.tolist())
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    return str(obj)

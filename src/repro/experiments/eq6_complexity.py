@@ -47,6 +47,7 @@ def _hillis_steele_work(n: int) -> int:
 
 
 def run(scale: Scale = Scale.SMOKE) -> Dict:
+    """Count real steps/work for both scans at every size in ``scale``."""
     p = PARAMS[scale]
     rows = []
     for n in p["sizes"]:
@@ -67,8 +68,19 @@ def run(scale: Scale = Scale.SMOKE) -> Dict:
     return {"rows": rows}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per n)."""
+    return [dict(row) for row in result["rows"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the complexity table as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the complexity table — a pure view over :func:`run` data."""
+    r = result
     headers = list(r["rows"][0].keys())
     body = format_table(headers, [[row[h] for h in headers] for row in r["rows"]])
     return (
@@ -77,6 +89,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         "work_blelloch ≈ 2n (Eq. 7, Θ(n)); steps_linear = n; "
         "work_hillis_steele ≈ n·log2(n)"
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ PARAMS = {
 
 
 def run(scale: Scale = Scale.SMOKE) -> Dict:
+    """Sweep T and B through the simulated devices' timing model."""
     p = PARAMS[scale]
     devices = list(DEVICE_CATALOG.values())
     t_rows: List[Dict] = []
@@ -53,8 +54,25 @@ def run(scale: Scale = Scale.SMOKE) -> Dict:
     return {"t_sweep": t_rows, "b_sweep": b_rows}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows.
+
+    The two panels are concatenated; a ``sweep`` column ("seq_len" or
+    "batch") tells them apart.
+    """
+    return [{"sweep": "seq_len", **row} for row in result["t_sweep"]] + [
+        {"sweep": "batch", **row} for row in result["b_sweep"]
+    ]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: both sensitivity sweeps as one row list."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render both sweep tables — a pure view over :func:`run` data."""
+    r = result
     t_headers = list(r["t_sweep"][0].keys())
     b_headers = list(r["b_sweep"][0].keys())
     return (
@@ -64,6 +82,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + format_table(b_headers, [[row[h] for h in b_headers] for row in r["b_sweep"]])
         + "\npaper anchors: max backward 8.8x and max overall 2.75x on RTX 2080Ti"
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

@@ -88,6 +88,7 @@ def _stage_patterns(model: VGG11, input_hw, rng) -> Dict:
 
 
 def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+    """Static per-step FLOP analysis of the pruned VGG-11 scan."""
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
     model = VGG11(rng=rng, width_multiplier=p["width"])
@@ -119,8 +120,38 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
     }
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per step).
+
+    BPPSA scan steps and baseline gradient-operator steps are
+    concatenated; the ``source`` column tells them apart.
+    """
+    out: List[Dict] = []
+    for source, steps in (("bppsa", result["steps"]), ("baseline", result["baseline_steps"])):
+        for s in steps:
+            out.append(
+                {
+                    "source": source,
+                    "phase": s.phase,
+                    "level": int(s.level),
+                    "kind": s.kind,
+                    "dense_mnk": float(s.dense_mnk),
+                    "flops": float(s.flops),
+                    "critical": bool(s.critical),
+                    "exact": bool(s.exact),
+                }
+            )
+    return out
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: every scan/baseline step as a dict."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the per-step FLOP table — a pure view over :func:`run`."""
+    r = result
     headers = ["phase", "level", "kind", "m·n·k (dense)", "FLOPs", "critical", "exact"]
     rows = [
         [s.phase, s.level, s.kind, s.dense_mnk, s.flops,
@@ -137,6 +168,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + f"\nmax baseline gradient-op FLOPs: {r['baseline_max_step_flops']:.3e}"
         + f"\nper-step ratio (want ≈ O(1)): {r['per_step_ratio']:.2f}"
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ Reproduces the motivation quantitatively:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.experiments.common import Scale, format_table, print_report
 from repro.pipeline import (
@@ -31,6 +31,7 @@ PARAMS = {
 
 
 def run(scale: Scale = Scale.SMOKE) -> Dict:
+    """Sweep device counts; compare bubble/memory/staleness per strategy."""
     p = PARAMS[scale]
     layers = p["num_layers"]
     rows = []
@@ -55,8 +56,19 @@ def run(scale: Scale = Scale.SMOKE) -> Dict:
     return {"rows": rows, "diagram": diagram, "num_layers": layers}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per K)."""
+    return [dict(row) for row in result["rows"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the device-count sweep as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the timing diagram + table — a pure view over :func:`run`."""
+    r = result
     headers = [
         "K",
         "naive util",
@@ -88,6 +100,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + "\n\n"
         + format_table(headers, rows)
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ stage with the conv shapes from
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.experiments.common import Scale, format_table, print_report
 from repro.nn.models import vgg11_conv_shapes
@@ -18,6 +18,12 @@ from repro.scan import build_blelloch_dag, build_linear_dag
 
 
 def run(scale: Scale = Scale.SMOKE, input_hw=(32, 32)) -> Dict:
+    """Enumerate the Blelloch schedule over VGG-11's conv stack.
+
+    ``scale`` is accepted for harness uniformity (the schedule is
+    scale-invariant); ``input_hw`` sets the image size the conv shapes
+    are annotated with.
+    """
     shapes = vgg11_conv_shapes(input_hw)
     n = len(shapes)  # 8 convolutions
     dag = build_blelloch_dag(n + 1)
@@ -46,8 +52,30 @@ def run(scale: Scale = Scale.SMOKE, input_hw=(32, 32)) -> Dict:
     }
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per level)."""
+    return [
+        {
+            "level": lv["level"],
+            "phase": lv["phase"],
+            "d": lv["d"],
+            "ops": lv["ops"],
+            "mm": lv["mm"],
+            "mv": lv["mv"],
+            "pairs": " ".join(f"{a},{b}" for a, b in lv["pairs"]),
+        }
+        for lv in result["levels"]
+    ]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the schedule's levels as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the schedule table — a pure view over :func:`run` data."""
+    r = result
     headers = ["level", "phase", "d", "ops", "mm", "mv", "pairs (l,r)"]
     rows = [
         [
@@ -67,6 +95,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         f"sequential steps, {r['linear_ops']} ⊙ ops"
     )
     return format_table(headers, rows) + extra
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

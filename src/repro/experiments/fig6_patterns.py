@@ -7,7 +7,7 @@ and reports their guaranteed-zero sparsity.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ def _raster(pattern, max_side: int = 64) -> str:
 
 
 def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+    """Generate the three T-Jacobian patterns at ``scale``'s shapes."""
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
     ci, co, (h, w) = p["ci"], p["co"], p["hw"]
@@ -49,8 +50,27 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
     }
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per op)."""
+    return [
+        {
+            "operator": name,
+            "rows": int(result[name]["shape"][0]),
+            "cols": int(result[name]["shape"][1]),
+            "sparsity": float(result[name]["sparsity"]),
+        }
+        for name in ("conv", "maxpool", "relu")
+    ]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: shape + sparsity per operator."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the ASCII rasters — a pure view over :func:`run` data."""
+    r = result
     chunks = []
     for name in ("conv", "maxpool", "relu"):
         info = r[name]
@@ -59,6 +79,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
             + _raster(info["pattern"])
         )
     return "\n\n".join(chunks)
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

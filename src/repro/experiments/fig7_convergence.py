@@ -13,7 +13,7 @@ reports both curves and their maximum divergence.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -99,8 +99,33 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None) -> Dict:
     }
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per engine)."""
+    return [
+        {
+            "engine": name,
+            "first_train_loss": float(e["train_losses"][0]),
+            "last_train_loss": float(e["train_losses"][-1]),
+            "test_loss": float(e["test_loss"]),
+            "test_acc": float(e["test_acc"]),
+            "max_train_divergence": float(result["max_train_divergence"]),
+        }
+        for name, e in (("baseline BP", result["baseline"]), ("BPPSA", result["bppsa"]))
+    ]
+
+
+def rows(scale: Scale = Scale.SMOKE, executor=None) -> List[Dict]:
+    """Structured data step: per-engine convergence summary.
+
+    ``executor`` picks the scan backend for the BPPSA run (spec string,
+    instance, or ``None`` for the process default).
+    """
+    return result_rows(run(scale, executor=executor))
+
+
+def render_report(result: Dict) -> str:
+    """Render the convergence table — a pure view over :func:`run` data."""
+    r = result
     a, b = r["baseline"], r["bppsa"]
     rows = [
         ["baseline BP", a["train_losses"][0], a["train_losses"][-1],
@@ -118,6 +143,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + f"\nbaseline {sparkline(a['train_losses'])}"
         + f"\nBPPSA    {sparkline(b['train_losses'])}"
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

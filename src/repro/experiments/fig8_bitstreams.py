@@ -6,7 +6,7 @@ checks that the expected number of ones is ``T · (0.05 + c·0.1)``.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -20,6 +20,7 @@ PARAMS = {
 
 
 def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+    """Sample per-class bitstream examples at ``scale``'s count."""
     p = PARAMS[scale]
     ds = BitstreamDataset(seq_len=p["seq_len"], num_samples=1000, seed=seed)
     examples = []
@@ -38,14 +39,29 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
     return {"examples": examples, "seq_len": p["seq_len"]}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    result = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per example)."""
+    return [dict(e) for e in result["examples"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the sampled bitstreams as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the examples table — a pure view over :func:`run` data."""
     headers = ["class", "stream", "E[#ones]", "#ones"]
     rows = [
         [e["class"], e["stream"], e["expected_ones"], e["observed_ones"]]
         for e in result["examples"]
     ]
     return format_table(headers, rows)
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

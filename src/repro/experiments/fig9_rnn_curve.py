@@ -13,7 +13,7 @@ Measured CPU times are also recorded for transparency.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -89,8 +89,47 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None) -> Dict:
     }
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per engine)."""
+    shared = {
+        "overall_speedup": float(result["overall_speedup"]),
+        "backward_speedup": float(result["backward_speedup"]),
+        "max_loss_divergence": float(result["max_loss_divergence"]),
+    }
+    return [
+        {
+            "engine": "baseline",
+            "first_loss": float(result["losses_baseline"][0]),
+            "last_loss": float(result["losses_baseline"][-1]),
+            "simulated_time_s": float(result["simulated_time_baseline"][-1]),
+            "measured_cpu_backward_s": float(
+                result["measured_cpu_backward_baseline_s"]
+            ),
+            **shared,
+        },
+        {
+            "engine": "BPPSA",
+            "first_loss": float(result["losses_bppsa"][0]),
+            "last_loss": float(result["losses_bppsa"][-1]),
+            "simulated_time_s": float(result["simulated_time_bppsa"][-1]),
+            "measured_cpu_backward_s": float(result["measured_cpu_backward_bppsa_s"]),
+            **shared,
+        },
+    ]
+
+
+def rows(scale: Scale = Scale.SMOKE, executor=None) -> List[Dict]:
+    """Structured data step: per-engine loss/time summary.
+
+    ``executor`` picks the scan backend for the BPPSA run (spec string,
+    instance, or ``None`` for the process default).
+    """
+    return result_rows(run(scale, executor=executor))
+
+
+def render_report(result: Dict) -> str:
+    """Render the loss/wall-clock table — a pure view over :func:`run`."""
+    r = result
     p = r["params"]
     rows = [
         [
@@ -118,6 +157,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + f"\nbaseline {sparkline(r['losses_baseline'])}"
         + f"\nBPPSA    {sparkline(r['losses_bppsa'])}"
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

@@ -6,12 +6,15 @@ Usage::
 
 Each artifact's rendered table/series is printed and, with ``--out``,
 written to one text file per artifact — the inputs EXPERIMENTS.md is
-compiled from.
+compiled from — plus one ``<artifact>.json`` holding the structured
+rows and the measured wall-time.  A combined per-artifact timing
+summary closes the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import time
 from typing import Dict, List, Tuple
@@ -31,7 +34,13 @@ from repro.experiments import (
     table1_sparsity,
     table2_devices,
 )
-from repro.experiments.common import Scale, banner
+from repro.experiments.common import (
+    Scale,
+    banner,
+    format_table,
+    rows_document,
+    to_jsonable,
+)
 
 ARTIFACTS: List[Tuple[str, object]] = [
     ("table2_devices", table2_devices),
@@ -51,21 +60,46 @@ ARTIFACTS: List[Tuple[str, object]] = [
 
 
 def run_all(scale: Scale, out_dir: pathlib.Path | None = None) -> Dict[str, str]:
-    """Run every harness; return {artifact: rendered report}."""
+    """Run every harness; return ``{artifact: rendered report}``.
+
+    Each artifact's data step (``run``) executes exactly once; the text
+    report and the structured rows are both derived from that single
+    result.  With ``out_dir``, ``<artifact>.txt`` (rendered report) and
+    ``<artifact>.json`` (rows + elapsed wall-time) are written side by
+    side.  A combined summary table with per-artifact elapsed seconds
+    is printed at the end.
+    """
     reports: Dict[str, str] = {}
+    summary: List[Tuple[str, int, float]] = []
     for name, module in ARTIFACTS:
         t0 = time.perf_counter()
-        text = module.report(scale)
+        result = module.run(scale)
         elapsed = time.perf_counter() - t0
+        text = module.render_report(result)
+        rows = module.result_rows(result)
         reports[name] = text
+        summary.append((name, len(rows), elapsed))
         print(banner(f"{name} ({elapsed:.1f}s)") + text)
         if out_dir is not None:
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{name}.txt").write_text(text + "\n")
+            doc = rows_document(name, rows, scale=scale, elapsed_s=elapsed)
+            (out_dir / f"{name}.json").write_text(
+                json.dumps(to_jsonable(doc), indent=2) + "\n"
+            )
+    total = sum(e for _, _, e in summary)
+    print(
+        banner(f"summary ({total:.1f}s total)")
+        + format_table(
+            ["artifact", "rows", "elapsed (s)"],
+            [[n, r, f"{e:.2f}"] for n, r, e in summary],
+        )
+    )
     return reports
 
 
 def main() -> None:
+    """CLI entry point (``--scale``, ``--out``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scale", choices=[s.value for s in Scale], default=Scale.SMOKE.value

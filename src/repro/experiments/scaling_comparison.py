@@ -64,6 +64,11 @@ def gpipe_backward_latency_steps(n: int, p: int) -> float:
 
 
 def run(scale: Scale = Scale.SMOKE, mm_cost: float = 2.0) -> Dict:
+    """Schedule the same backward pass under all three strategies.
+
+    ``mm_cost`` is the cost of one ⊙ matrix product relative to a
+    baseline BP stage step.
+    """
     p = PARAMS[scale]
     n = p["n"]
     rows: List[Dict] = []
@@ -83,8 +88,19 @@ def run(scale: Scale = Scale.SMOKE, mm_cost: float = 2.0) -> Dict:
     return {"rows": rows, "n": n, "mm_cost": mm_cost, "crossover": crossover}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per p)."""
+    return [dict(row) for row in result["rows"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the device-count sweep as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render the scaling table — a pure view over :func:`run` data."""
+    r = result
     headers = ["devices p", "naïve MP steps", "GPipe bwd latency", "BPPSA steps"]
     rows = [
         [x["devices"], x["naive"], x["gpipe_latency"], x["bppsa"]]
@@ -96,6 +112,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         + f"\nBPPSA overtakes the sequential baseline at p = {r['crossover']}"
         " and keeps improving to Θ(log n); the baselines are flat in p."
     )
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

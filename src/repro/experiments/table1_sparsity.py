@@ -15,7 +15,7 @@ convolution / ReLU / max-pooling operators of VGG-11 on 32×32 images:
 from __future__ import annotations
 
 import time
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -68,6 +68,12 @@ def _time(fn, repeats: int = 3) -> float:
 
 
 def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+    """Measure Table 1 sparsity + generation speedup at ``scale``.
+
+    ``scale`` picks the reduced timing configuration (the autograd
+    baseline is O(columns)); the sparsity formulas always use the
+    paper's exact configuration.
+    """
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
     ci, co, (h, w) = p["ci"], p["co"], p["hw"]
@@ -132,8 +138,19 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
     }
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    r = run(scale)
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per op)."""
+    return [dict(row) for row in result["rows"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: Table 1 as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render Table 1 — a pure view over :func:`run` data."""
+    r = result
     headers = [
         "Operator",
         "Sparsity (paper cfg, formula)",
@@ -155,6 +172,11 @@ def report(scale: Scale = Scale.SMOKE) -> str:
         f"{r['reduced_config']}"
     )
     return format_table(headers, rows) + note
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":

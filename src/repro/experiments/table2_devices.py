@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.experiments.common import Scale, format_table, print_report
 from repro.pram import DEVICE_CATALOG
 
 
 def run(scale: Scale = Scale.SMOKE) -> Dict:
-    """Return the device catalog as Table 2 rows."""
+    """Return the device catalog as Table 2 rows (scale-invariant)."""
     keys = ["CUDA", "cuDNN", "PyTorch", "CPU", "Host Memory", "Linux Kernel"]
     rows = []
     for dev in DEVICE_CATALOG.values():
@@ -23,10 +23,26 @@ def run(scale: Scale = Scale.SMOKE) -> Dict:
     return {"rows": rows}
 
 
-def report(scale: Scale = Scale.SMOKE) -> str:
-    rows = run(scale)["rows"]
+def result_rows(result: Dict) -> List[Dict]:
+    """Flatten a :func:`run` result into JSON-ready rows (one per device)."""
+    return [dict(row) for row in result["rows"]]
+
+
+def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+    """Structured data step: the device catalog as a list of dicts."""
+    return result_rows(run(scale))
+
+
+def render_report(result: Dict) -> str:
+    """Render Table 2 — a pure view over :func:`run` data."""
+    rows = result["rows"]
     headers = list(rows[0].keys())
     return format_table(headers, [[r[h] for h in headers] for r in rows])
+
+
+def report(scale: Scale = Scale.SMOKE) -> str:
+    """Rendered plain-text artifact at ``scale`` (run + render)."""
+    return render_report(run(scale))
 
 
 if __name__ == "__main__":
