@@ -2,7 +2,6 @@
 baseline (Table 1's last column, measured rather than asserted)."""
 
 import numpy as np
-import pytest
 
 from repro.jacobian import autograd_tjac, conv2d_tjac, maxpool_tjac, relu_tjac
 from repro.tensor import Tensor, ops

@@ -8,7 +8,6 @@ plan-cached numeric-only path on pruned-VGG-shaped Jacobians.
 """
 
 import numpy as np
-import pytest
 
 from repro.jacobian import conv2d_tjac_pruned
 from repro.sparse import build_spgemm_plan, spgemm

@@ -15,7 +15,7 @@ come from the standard dense backward FLOP formulas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

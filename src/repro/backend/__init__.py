@@ -19,8 +19,9 @@ Backends
     releases the GIL inside gemm).
 ``process`` (:class:`ProcessPoolScanExecutor`)
     Worker processes + ``multiprocessing.shared_memory``; large dense
-    Jacobian products escape the GIL entirely, everything small or
-    sparse stays inline in the parent.
+    Jacobian products *and* large SpGEMM numeric phases (CSR values +
+    plan index arrays over shared memory) escape the GIL entirely,
+    everything small stays inline in the parent.
 
 Usage::
 

@@ -9,26 +9,37 @@ Jacobian crosses the process boundary as one memcpy instead of a
 pickle round-trip.
 
 The offload is deliberately narrow.  A task is shipped to a worker
-only when
+only when the op is a :class:`~repro.scan.elements.ScanContext` ⊙ (so
+the parent knows the product semantics ``a ⊙ b = b·a`` and can keep
+the FLOP trace) and the task is one of
 
-* both operands are :class:`~repro.scan.elements.DenseJacobian` (the
-  dense matrix–matrix products that dominate the up-sweep's top
-  levels — paper Section 5.2's cost argument),
-* the op is a :class:`~repro.scan.elements.ScanContext` ⊙ (so the
-  parent knows the product semantics ``a ⊙ b = b·a`` and can keep the
-  FLOP trace), and
-* the per-sample ``m·n·k`` volume clears ``min_offload_mnk`` —
-  shipping tiny products costs more than computing them.
+* a **dense × dense** product (both operands
+  :class:`~repro.scan.elements.DenseJacobian` — the matrix–matrix
+  products that dominate the up-sweep's top levels, paper
+  Section 5.2's cost argument) whose per-sample ``m·n·k`` volume
+  clears ``min_offload_mnk``;
+* a **sparse × sparse** product (both operands
+  :class:`~repro.scan.elements.SparseJacobian`) whose expanded-product
+  count, times the batch, clears the same bound.  The SpGEMM
+  *symbolic* phase always runs in the parent — against (and
+  populating) the parent's plan cache — and only the numeric phase
+  ships: the plan's gather/scatter index arrays and both operands'
+  CSR value matrices cross as shared-memory segments, and the worker
+  runs :func:`repro.sparse.spgemm_numeric_batched` — the same kernel
+  (same NumPy calls, same order) as
+  :meth:`~repro.sparse.SpGEMMPlan.execute_batched` inline.
 
-Everything else (mat–vec seeds, sparse ops, symbolic/string scans)
-runs inline in the parent, which also guarantees those ops see the
-parent's pattern cache.  Workers compute exactly ``np.matmul(b, a)``
-— the same call the in-process dense path makes — so results are
-bitwise-identical to the serial executor.  The offloaded product is
-accounted in the parent via
-:meth:`~repro.scan.elements.ScanContext.record_dense_matmat`; within a
-level, offloaded records land after inline ones (ops of one level are
-unordered by construction, so the DAG grouping is unaffected).
+Everything else (mat–vec seeds, small products, symbolic/string
+scans, and every sparse op under ``REPRO_SCAN_SPARSE=off``) runs
+inline in the parent.  Dense workers compute exactly
+``np.matmul(b, a)`` — the same call the in-process dense path makes —
+so both offload kinds are bitwise-identical to the serial executor.
+Offloaded products are accounted in the parent via
+:meth:`~repro.scan.elements.ScanContext.record_dense_matmat` /
+:meth:`~repro.scan.elements.ScanContext.complete_sparse_matmat`;
+within a level, offloaded records land after inline ones (ops of one
+level are unordered by construction, so the DAG grouping is
+unaffected).
 
 If the platform cannot spawn workers or allocate shared memory (e.g.
 a locked-down sandbox), the executor degrades permanently to inline
@@ -46,7 +57,8 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backend.executor import LevelTask, ScanExecutor
-from repro.scan.elements import DenseJacobian, ScanContext
+from repro.scan.elements import DenseJacobian, ScanContext, SparseJacobian
+from repro.sparse import spgemm_numeric_batched
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -90,8 +102,54 @@ def _matmat_worker(
             shm.close()
 
 
+def _spgemm_worker(
+    data_p_name: str,
+    data_p_shape: Tuple[int, ...],
+    data_q_name: str,
+    data_q_shape: Tuple[int, ...],
+    src_a_name: str,
+    src_b_name: str,
+    scatter_name: str,
+    n_expanded: int,
+    out_name: str,
+    out_shape: Tuple[int, ...],
+) -> bool:
+    """Run one SpGEMM numeric phase between shared-memory segments.
+
+    ``data_p``/``data_q`` are the (B, nnz) CSR value matrices of the
+    plan's left/right operands (for ``a ⊙ b = b·a`` that is
+    ``b.values()`` / ``a.values()``); the index arrays are the plan's
+    gather/scatter maps (int64 by construction).  Writes the
+    ``(B, out_nnz)`` product values into ``out``.
+    """
+    shms = []
+    try:
+        arrays = []
+        for name, shape, dtype in (
+            (data_p_name, data_p_shape, np.float64),
+            (data_q_name, data_q_shape, np.float64),
+            (src_a_name, (n_expanded,), np.int64),
+            (src_b_name, (n_expanded,), np.int64),
+            (scatter_name, (n_expanded,), np.int64),
+            (out_name, out_shape, np.float64),
+        ):
+            shm = _attach(name)
+            shms.append(shm)
+            arrays.append(np.ndarray(shape, dtype=dtype, buffer=shm.buf))
+        data_p, data_q, src_a, src_b, scatter, out = arrays
+        # The exact inline kernel (SpGEMMPlan.execute_batched), then one
+        # copy out.
+        out[...] = spgemm_numeric_batched(
+            src_a, src_b, scatter, out_shape[-1], data_p, data_q
+        )
+        return True
+    finally:
+        for shm in shms:
+            shm.close()
+
+
 class ProcessPoolScanExecutor(ScanExecutor):
-    """Run large dense ⊙ products of each level in worker processes.
+    """Run large dense and sparse ⊙ products of each level in workers.
 
     Parameters
     ----------
@@ -100,8 +158,10 @@ class ProcessPoolScanExecutor(ScanExecutor):
         level that actually offloads, so constructing the executor is
         cheap.
     min_offload_mnk:
-        Minimum per-sample ``m·n·k`` volume of a dense product for it
-        to be worth shipping to a worker; smaller products run inline.
+        Minimum work volume of a product for it to be worth shipping
+        to a worker: per-sample ``m·n·k`` for dense products, expanded
+        partial products × batch for SpGEMM; smaller products run
+        inline.
     """
 
     name = "process"
@@ -132,6 +192,31 @@ class ProcessPoolScanExecutor(ScanExecutor):
         n = task.a.shape[1]
         return m * k * n >= self.min_offload_mnk
 
+    def _sparse_offload_plan(self, task: LevelTask):
+        """The task's SpGEMM plan when its numeric phase should offload.
+
+        Returns ``None`` for anything that is not a large enough
+        sparse × sparse ⊙ of a :class:`ScanContext` whose policy keeps
+        sparse operands sparse.  The plan lookup itself runs in the
+        parent's cache — in a training loop it is a cache hit, so
+        classification stays cheap.
+        """
+        if not (
+            isinstance(task.a, SparseJacobian) and isinstance(task.b, SparseJacobian)
+        ):
+            return None
+        ctx = getattr(task.op, "__self__", None)
+        if not isinstance(ctx, ScanContext):
+            return None
+        if ctx.sparse_policy.mode == "off":
+            return None  # inline path densifies; there is no SpGEMM to ship
+        plan = ctx.sparse_offload_plan(task.a, task.b)
+        batch = max(task.b.values().shape[0], task.a.values().shape[0])
+        # plan.flops/2 expanded multiplies ≈ the sparse analogue of m·k·n.
+        if (plan.flops // 2) * batch < self.min_offload_mnk:
+            return None
+        return plan
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             # Start the shm resource tracker before forking so workers
@@ -155,10 +240,73 @@ class ProcessPoolScanExecutor(ScanExecutor):
         return shm
 
     # ------------------------------------------------------------------
+    def _submit_dense(self, pool, segments, t: LevelTask):
+        b_arr, a_arr = t.b.data, t.a.data
+        out_shape = np.broadcast_shapes(b_arr.shape[:-2], a_arr.shape[:-2]) + (
+            b_arr.shape[-2],
+            a_arr.shape[-1],
+        )
+        shm_b = self._share(b_arr)
+        segments.append(shm_b)
+        shm_a = self._share(a_arr)
+        segments.append(shm_a)
+        out_nbytes = int(np.prod(out_shape)) * b_arr.dtype.itemsize
+        shm_out = shared_memory.SharedMemory(create=True, size=max(out_nbytes, 1))
+        segments.append(shm_out)
+        fut = pool.submit(
+            _matmat_worker,
+            shm_b.name,
+            b_arr.shape,
+            shm_a.name,
+            a_arr.shape,
+            shm_out.name,
+            out_shape,
+            str(b_arr.dtype),
+        )
+        return fut, shm_out, out_shape
+
+    def _submit_sparse(self, pool, segments, t: LevelTask, plan):
+        # a ⊙ b = b·a: the plan was built as plan_for(b.pattern,
+        # a.pattern), so the plan's left values are b's and its right
+        # values are a's — same order as the inline execute_batched call.
+        data_p, data_q = t.b.values(), t.a.values()
+        shms = []
+        for arr in (data_p, data_q, plan.src_a, plan.src_b, plan.scatter):
+            shm = self._share(np.ascontiguousarray(arr))
+            segments.append(shm)
+            shms.append(shm)
+        batch = max(data_p.shape[0], data_q.shape[0])
+        out_shape = (batch, plan.out_nnz)
+        out_nbytes = int(np.prod(out_shape)) * 8  # float64
+        shm_out = shared_memory.SharedMemory(create=True, size=max(out_nbytes, 1))
+        segments.append(shm_out)
+        fut = pool.submit(
+            _spgemm_worker,
+            shms[0].name,
+            data_p.shape,
+            shms[1].name,
+            data_q.shape,
+            shms[2].name,
+            shms[3].name,
+            shms[4].name,
+            len(plan.src_a),
+            shm_out.name,
+            out_shape,
+        )
+        return fut, shm_out, out_shape
+
     def run_level(self, tasks: Sequence[LevelTask]) -> List[Any]:
         if self._broken or len(tasks) == 1:
             return [t.run() for t in tasks]
-        offload = {i for i, t in enumerate(tasks) if self._offloadable(t)}
+        # i → None for a dense offload, or the SpGEMM plan for a sparse one.
+        offload: dict = {}
+        for i, t in enumerate(tasks):
+            if self._offloadable(t):
+                offload[i] = None
+            else:
+                plan = self._sparse_offload_plan(t)
+                if plan is not None:
+                    offload[i] = plan
         if len(offload) < 2:  # one offloaded op just makes the parent wait
             return [t.run() for t in tasks]
         try:
@@ -173,44 +321,32 @@ class ProcessPoolScanExecutor(ScanExecutor):
         try:
             for i in sorted(offload):
                 t = tasks[i]
-                b_arr, a_arr = t.b.data, t.a.data
-                out_shape = np.broadcast_shapes(
-                    b_arr.shape[:-2], a_arr.shape[:-2]
-                ) + (b_arr.shape[-2], a_arr.shape[-1])
-                shm_b = self._share(b_arr)
-                segments.append(shm_b)
-                shm_a = self._share(a_arr)
-                segments.append(shm_a)
-                out_nbytes = int(np.prod(out_shape)) * b_arr.dtype.itemsize
-                shm_out = shared_memory.SharedMemory(
-                    create=True, size=max(out_nbytes, 1)
-                )
-                segments.append(shm_out)
-                fut = pool.submit(
-                    _matmat_worker,
-                    shm_b.name,
-                    b_arr.shape,
-                    shm_a.name,
-                    a_arr.shape,
-                    shm_out.name,
-                    out_shape,
-                    str(b_arr.dtype),
-                )
-                futures.append((i, fut, shm_out, out_shape))
+                plan = offload[i]
+                if plan is None:
+                    fut, shm_out, out_shape = self._submit_dense(pool, segments, t)
+                else:
+                    fut, shm_out, out_shape = self._submit_sparse(
+                        pool, segments, t, plan
+                    )
+                futures.append((i, fut, shm_out, out_shape, plan))
 
-            # Small/sparse/mat-vec tasks run inline while workers chug.
+            # Small/mat-vec tasks run inline while workers chug.
             for i, t in enumerate(tasks):
                 if i not in offload:
                     results[i] = t.run()
 
-            for i, fut, shm_out, out_shape in futures:
+            for i, fut, shm_out, out_shape, plan in futures:
                 fut.result()
                 out = np.array(
                     np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
                 )
                 t = tasks[i]
-                result = DenseJacobian(out)
-                t.op.__self__.record_dense_matmat(t.a, t.b, t.info, result)
+                ctx = t.op.__self__
+                if plan is None:
+                    result = DenseJacobian(out)
+                    ctx.record_dense_matmat(t.a, t.b, t.info, result)
+                else:
+                    result = ctx.complete_sparse_matmat(t.a, t.b, t.info, plan, out)
                 results[i] = result
         except Exception as exc:
             # Something in the offload path failed.  Recompute only the

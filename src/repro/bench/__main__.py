@@ -7,6 +7,10 @@ Examples::
 
     # one artifact, more repeats, custom output directory
     python -m repro.bench --artifacts fig9_rnn_curve --repeats 5 --out /tmp/b
+
+    # add the dense-vs-sparse axis: sparse-sensitive artifacts run per
+    # dispatch mode per backend ("serial[sparse=off]", "serial[sparse=on]", …)
+    python -m repro.bench --scale smoke --backends serial,thread:2 --sparse
 """
 
 from __future__ import annotations
@@ -48,6 +52,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         + ")",
     )
     parser.add_argument(
+        "--sparse",
+        action="store_true",
+        help="sweep the dense-vs-sparse dispatch axis: sparse-sensitive "
+        "artifacts run once per mode (off, on) per backend, recorded as "
+        '"<backend>[sparse=<mode>]" in place of their plain-key '
+        "measurement (compare against a baseline taken with --sparse)",
+    )
+    parser.add_argument(
+        "--sparse-modes",
+        default="off,on",
+        help="comma-separated dispatch modes for the --sparse axis "
+        "(default off,on; auto is also valid)",
+    )
+    parser.add_argument(
         "--warmup", type=int, default=0, help="un-timed runs per measurement"
     )
     parser.add_argument(
@@ -67,12 +85,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.artifacts
         else None
     )
+    sparse_modes = (
+        [m.strip() for m in args.sparse_modes.split(",") if m.strip()]
+        if args.sparse
+        else None
+    )
     records = run_bench(
         Scale(args.scale),
         backends,
         artifacts,
         warmup=args.warmup,
         repeats=args.repeats,
+        sparse_modes=sparse_modes,
         progress=print,
     )
     combined = write_results(records, args.out)

@@ -4,10 +4,16 @@ Records are matched by ``(artifact, scale, backend)``; the compared
 statistic is the timing **median** (IQR is printed for context — a
 delta well inside the combined IQRs is noise, not signal).  A new
 median more than ``tolerance`` above the old one is a *regression*;
-more than ``tolerance`` below is an *improvement*; keys present on only
-one side are reported as *added*/*removed* but never gate.
+more than ``tolerance`` below is an *improvement*.  Keys only in the
+new file are reported as *added* and never gate; keys only in the
+baseline are **missing coverage** and fail the comparison (exit 2)
+even under ``--report-only`` — a sweep that silently stopped producing
+a record is structural drift, not a timing delta — unless
+``--allow-missing`` is given.  Malformed/old-schema result files also
+exit 2, with the schema error instead of a traceback.
 
-Command line (exits 1 on any regression unless ``--report-only``)::
+Command line (exit 1 on a timing regression — suppressed by
+``--report-only`` — and exit 2 on schema or coverage drift)::
 
     python -m repro.bench.compare old.json new.json --tolerance 0.25
 """
@@ -21,7 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.bench.env import comparable
-from repro.bench.record import BenchRecord
+from repro.bench.record import BenchRecord, SchemaError
 from repro.bench.writer import load_records
 from repro.experiments.common import format_table
 
@@ -129,12 +135,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--report-only",
         action="store_true",
-        help="print the comparison but always exit 0 (CI report mode)",
+        help="report timing deltas without gating on them (CI report "
+        "mode); schema and missing-record drift still fail",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate baseline records that are missing from the new "
+        "results instead of exiting 2",
     )
     args = parser.parse_args(argv)
 
-    old = load_records(args.old)
-    new = load_records(args.new)
+    try:
+        old = load_records(args.old)
+        new = load_records(args.new)
+    except (SchemaError, OSError, ValueError) as exc:
+        print(f"error: cannot load bench results: {exc}")
+        return 2
     deltas = compare_results(old, new, tolerance=args.tolerance)
     print(render_comparison(deltas))
 
@@ -144,6 +161,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(python/numpy/machine/cpu_count differ) — timing deltas "
             "are not trustworthy."
         )
+    missing = [d for d in deltas if d.status == "removed"]
+    if missing and not args.allow_missing:
+        print(
+            f"error: {len(missing)} baseline record(s) missing from "
+            f"{args.new}: "
+            + ", ".join(f"{d.artifact}[{d.backend}]" for d in missing)
+            + " — the sweep no longer produces these measurements "
+            "(record-count drift). Regenerate the baseline if the "
+            "removal is intentional, or pass --allow-missing."
+        )
+        return 2
+
     regressions = [d for d in deltas if d.status == "regression"]
     if regressions:
         print(

@@ -2,12 +2,23 @@
 
 An artifact here is anything that can produce structured rows: the 13
 experiment modules (each exposing ``run(scale)`` + ``result_rows``)
-plus ``parallel_backends``, the raw Blelloch-scan microbenchmark that
-exercises the executor itself.  Backend-*sensitive* artifacts — the
-ones whose computation actually flows through a
+plus two scan microbenchmarks that exercise the executor itself —
+``parallel_backends`` (dense Jacobian chain) and ``sparse_scan``
+(CSR Jacobian chain under the sparse dispatch).  Backend-*sensitive*
+artifacts — the ones whose computation actually flows through a
 :class:`~repro.backend.executor.ScanExecutor` — are measured once per
 requested spec; the rest run once and record backend ``"n/a"`` so the
 sweep's cost stays proportional to what a backend can influence.
+
+A second sweep axis covers the sparse execution path: when
+``sparse_modes`` is given (the CLI's ``--sparse`` flag), every
+*sparse-sensitive* artifact runs once per dispatch mode per backend,
+recorded as ``"<backend>[sparse=<mode>]"`` — which is how
+dense-vs-sparse timings of the same workload land side by side in
+``bench.json``.  The mode sweep *replaces* that artifact's single
+default-policy measurement (its plain ``"<backend>"`` key), so switch
+a baseline to the swept shape by regenerating it with the same
+``--sparse`` flags.
 """
 
 from __future__ import annotations
@@ -64,36 +75,84 @@ def make_scan_items(seq_len: int, batch: int, hidden: int, seed: int = 0) -> Lis
     return items
 
 
+#: ``sparse_scan`` sizes (stages, batch, channels, feature h/w) per
+#: scale.  Stage Jacobians alternate a convolution CSR pattern with a
+#: per-sample diagonal pattern — the composition mix the feedforward
+#: engine produces for a conv/activation stack.
+SPARSE_SCAN_PARAMS = {
+    Scale.SMOKE: {"stages": 12, "batch": 4, "channels": 4, "hw": (8, 8)},
+    Scale.PAPER: {"stages": 24, "batch": 8, "channels": 6, "hw": (12, 12)},
+}
+
+
+def make_sparse_scan_items(
+    stages: int, batch: int, channels: int, hw, sparse="auto", seed: int = 0
+) -> List[Any]:
+    """The ``sparse_scan`` input: a gradient seed + alternating conv /
+    diagonal CSR Jacobians, assembled through the given dispatch policy
+    (so ``sparse="off"`` yields the dense version of the same chain)."""
+    from repro.jacobian.conv import conv2d_tjac
+    from repro.scan import GradientVector, SparseJacobian, SparsePolicy
+    from repro.sparse import csr_from_diagonal
+
+    policy = SparsePolicy.resolve(sparse)
+    rng = np.random.default_rng(seed)
+    h, w = hw
+    dim = channels * h * w
+    conv = conv2d_tjac(
+        rng.standard_normal((channels, channels, 3, 3)), (h, w), padding=1
+    )
+    items: List[Any] = [GradientVector(rng.standard_normal((batch, dim)))]
+    for stage in range(stages):
+        if stage % 2 == 0:
+            el = SparseJacobian(conv)
+        else:
+            diag = csr_from_diagonal(np.ones(dim))
+            el = SparseJacobian(diag, rng.standard_normal((batch, dim)))
+        items.append(policy.element(el))
+    return items
+
+
 @dataclass(frozen=True)
 class BenchArtifact:
     """One benchmarkable artifact: a name plus its rows-producing step.
 
-    ``rows_fn(scale, spec)`` executes the artifact's data step under
-    executor spec ``spec`` (``None`` for backend-insensitive artifacts)
-    and returns the structured rows.  ``backend_sensitive`` marks
-    artifacts whose wall-clock a scan backend can change.
+    ``rows_fn(scale, spec, sparse)`` executes the artifact's data step
+    under executor spec ``spec`` (``None`` for backend-insensitive
+    artifacts) and sparse dispatch mode ``sparse`` (``None`` when the
+    sparse axis is off) and returns the structured rows.
+    ``backend_sensitive`` marks artifacts whose wall-clock a scan
+    backend can change; ``sparse_sensitive`` marks the ones the
+    dense-vs-sparse dispatch flows through.
     """
 
     name: str
-    rows_fn: Callable[[Scale, Optional[str]], List[Dict[str, Any]]]
+    rows_fn: Callable[[Scale, Optional[str], Optional[str]], List[Dict[str, Any]]]
     backend_sensitive: bool = False
+    sparse_sensitive: bool = False
 
 
-def _experiment(module) -> Callable[[Scale, Optional[str]], List[Dict[str, Any]]]:
-    def rows_fn(scale: Scale, spec: Optional[str]) -> List[Dict[str, Any]]:
+def _experiment(module):
+    def rows_fn(
+        scale: Scale, spec: Optional[str], sparse: Optional[str]
+    ) -> List[Dict[str, Any]]:
         return module.result_rows(module.run(scale))
 
     return rows_fn
 
 
-def _engine_experiment(module) -> Callable[[Scale, Optional[str]], List[Dict[str, Any]]]:
-    def rows_fn(scale: Scale, spec: Optional[str]) -> List[Dict[str, Any]]:
-        return module.result_rows(module.run(scale, executor=spec))
+def _engine_experiment(module):
+    def rows_fn(
+        scale: Scale, spec: Optional[str], sparse: Optional[str]
+    ) -> List[Dict[str, Any]]:
+        return module.result_rows(module.run(scale, executor=spec, sparse=sparse))
 
     return rows_fn
 
 
-def _parallel_backends_rows(scale: Scale, spec: Optional[str]) -> List[Dict[str, Any]]:
+def _parallel_backends_rows(
+    scale: Scale, spec: Optional[str], sparse: Optional[str]
+) -> List[Dict[str, Any]]:
     """One Blelloch scan over T dense H×H Jacobians on the given backend."""
     from repro.backend import get_executor
     from repro.scan import ScanContext, blelloch_scan
@@ -114,6 +173,35 @@ def _parallel_backends_rows(scale: Scale, spec: Optional[str]) -> List[Dict[str,
     ]
 
 
+def _sparse_scan_rows(
+    scale: Scale, spec: Optional[str], sparse: Optional[str]
+) -> List[Dict[str, Any]]:
+    """One Blelloch scan over a CSR Jacobian chain on the given backend
+    and dispatch mode — the dense-vs-sparse speedup microbenchmark."""
+    from repro.backend import get_executor
+    from repro.scan import ScanContext, blelloch_scan
+
+    mode = sparse or "auto"
+    p = SPARSE_SCAN_PARAMS[scale]
+    items = make_sparse_scan_items(
+        p["stages"], p["batch"], p["channels"], p["hw"], sparse=mode
+    )
+    ctx = ScanContext(sparse=mode)
+    with get_executor(spec or "serial") as ex:
+        out = blelloch_scan(items, ctx.op, executor=ex)
+    return [
+        {
+            "stages": p["stages"],
+            "batch": p["batch"],
+            "dim": p["channels"] * p["hw"][0] * p["hw"][1],
+            "backend": spec or "serial",
+            "sparse": mode,
+            "total_flops": int(ctx.total_flops),
+            "positions": len(out),
+        }
+    ]
+
+
 #: Every benchmarkable artifact, in run order (the 13 paper artifacts of
 #: :mod:`repro.experiments.run_all` plus the scan microbenchmark).
 ARTIFACTS: List[BenchArtifact] = [
@@ -129,12 +217,21 @@ ARTIFACTS: List[BenchArtifact] = [
     BenchArtifact("fig11_flops", _experiment(fig11_flops)),
     BenchArtifact("ablation_truncation", _experiment(ablation_truncation)),
     BenchArtifact(
-        "fig7_convergence", _engine_experiment(fig7_convergence), backend_sensitive=True
+        "fig7_convergence",
+        _engine_experiment(fig7_convergence),
+        backend_sensitive=True,
+        sparse_sensitive=True,
     ),
     BenchArtifact(
         "fig9_rnn_curve", _engine_experiment(fig9_rnn_curve), backend_sensitive=True
     ),
     BenchArtifact("parallel_backends", _parallel_backends_rows, backend_sensitive=True),
+    BenchArtifact(
+        "sparse_scan",
+        _sparse_scan_rows,
+        backend_sensitive=True,
+        sparse_sensitive=True,
+    ),
 ]
 
 _BY_NAME: Dict[str, BenchArtifact] = {a.name: a for a in ARTIFACTS}
@@ -145,6 +242,20 @@ def artifact_names() -> List[str]:
     return [a.name for a in ARTIFACTS]
 
 
+def backend_label(spec: Optional[str], sparse: Optional[str]) -> str:
+    """The ``backend`` field recorded for one measurement.
+
+    A plain executor spec (``"serial"``) without the sparse axis;
+    ``"serial[sparse=on]"`` when a dispatch mode was swept.  Artifacts
+    the sparse axis never touches keep their plain keys either way;
+    sparse-sensitive artifacts change key shape with ``--sparse``, so a
+    baseline must be regenerated with the same sweep flags it will be
+    compared against.
+    """
+    base = spec if spec is not None else NO_BACKEND
+    return f"{base}[sparse={sparse}]" if sparse is not None else base
+
+
 def run_bench(
     scale: Scale = Scale.SMOKE,
     backends: Sequence[str] = ("serial",),
@@ -152,9 +263,11 @@ def run_bench(
     *,
     warmup: int = 0,
     repeats: int = 1,
+    sparse_modes: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[BenchRecord]:
-    """Sweep ``artifacts`` × ``backends`` and return validated records.
+    """Sweep ``artifacts`` × ``backends`` (× ``sparse_modes``) into
+    validated records.
 
     Parameters
     ----------
@@ -171,12 +284,19 @@ def run_bench(
     warmup, repeats
         Un-timed / timed executions per measurement (see
         :func:`repro.bench.timing.measure`).
+    sparse_modes
+        Dispatch modes (``"off"``, ``"on"``, ``"auto"``) to sweep on
+        sparse-sensitive artifacts; ``None`` disables the axis (every
+        artifact runs once, under the process default policy, with the
+        plain backend key).
     progress
         Optional callback receiving one human-readable line per
         measurement as it completes.
     """
     if not backends:
         raise ValueError("at least one backend spec is required")
+    if sparse_modes is not None and not sparse_modes:
+        raise ValueError("sparse_modes must be None or a non-empty sequence")
     if artifacts is None:
         selected = list(ARTIFACTS)
     else:
@@ -193,25 +313,31 @@ def run_bench(
         specs: List[Optional[str]] = (
             list(backends) if artifact.backend_sensitive else [None]
         )
+        modes: List[Optional[str]] = (
+            list(sparse_modes)
+            if artifact.sparse_sensitive and sparse_modes is not None
+            else [None]
+        )
         for spec in specs:
-            rows, stats = measure(
-                lambda: artifact.rows_fn(scale, spec),
-                warmup=warmup,
-                repeats=repeats,
-            )
-            record = BenchRecord(
-                artifact=artifact.name,
-                scale=scale.value,
-                backend=spec if spec is not None else NO_BACKEND,
-                timing=stats,
-                environment=env,
-                num_rows=len(rows),
-            )
-            records.append(record)
-            if progress is not None:
-                progress(
-                    f"{artifact.name} [{record.backend}] "
-                    f"median {stats.median_s * 1e3:.1f} ms, "
-                    f"{record.num_rows} rows"
+            for mode in modes:
+                rows, stats = measure(
+                    lambda: artifact.rows_fn(scale, spec, mode),
+                    warmup=warmup,
+                    repeats=repeats,
                 )
+                record = BenchRecord(
+                    artifact=artifact.name,
+                    scale=scale.value,
+                    backend=backend_label(spec, mode),
+                    timing=stats,
+                    environment=env,
+                    num_rows=len(rows),
+                )
+                records.append(record)
+                if progress is not None:
+                    progress(
+                        f"{artifact.name} [{record.backend}] "
+                        f"median {stats.median_s * 1e3:.1f} ms, "
+                        f"{record.num_rows} rows"
+                    )
     return records

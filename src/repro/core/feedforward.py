@@ -17,7 +17,7 @@ floating-point reassociation (paper Section 3.5).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.scan import (
     GradientVector,
     ScanContext,
     SparseJacobian,
+    SparsePolicy,
     blelloch_scan,
     hillis_steele_scan,
     linear_scan,
@@ -59,7 +60,17 @@ class FeedforwardBPPSA(ExecutorOwner):
         When set, linear-layer Jacobians are stored in CSR dropping
         entries ≤ tol — the pruned-retraining configuration.
     densify_threshold:
-        Forwarded to :class:`~repro.scan.elements.ScanContext`.
+        Forwarded to :class:`~repro.scan.elements.ScanContext`
+        (legacy form of the dispatch policy; ignored when ``sparse``
+        is given).
+    sparse:
+        Dense-vs-sparse dispatch for the scan: a
+        :class:`~repro.scan.SparsePolicy`, a spec string (``"auto"``,
+        ``"on"``, ``"off"``, ``"auto:0.4"``), or ``None`` for the
+        process-wide ``REPRO_SCAN_SPARSE`` default.  For any fixed
+        policy, gradients are bitwise-identical on every backend;
+        sparse- and dense-mode gradients agree up to floating-point
+        reassociation (Section 3.5).
     executor:
         Scan-execution backend: a spec string (``"serial"``,
         ``"thread:8"``, ``"process:4"`` — see :mod:`repro.backend`), an
@@ -78,6 +89,7 @@ class FeedforwardBPPSA(ExecutorOwner):
         densify_threshold: Optional[float] = 0.25,
         pattern_cache: Optional[PatternCache] = None,
         executor: Union[str, ScanExecutor, None] = None,
+        sparse: Union[str, SparsePolicy, None] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
@@ -87,9 +99,21 @@ class FeedforwardBPPSA(ExecutorOwner):
         self.sparse_linear_tol = sparse_linear_tol
         self.set_executor(executor)
         self.context = ScanContext(
-            pattern_cache=pattern_cache, densify_threshold=densify_threshold
+            pattern_cache=pattern_cache,
+            densify_threshold=densify_threshold,
+            sparse=sparse,
         )
         self._activations: List[np.ndarray] = []
+
+    @property
+    def sparse_policy(self) -> SparsePolicy:
+        """The scan's dense-vs-sparse dispatch policy."""
+        return self.context.sparse_policy
+
+    def set_sparse_policy(self, sparse: Union[str, SparsePolicy, None]) -> None:
+        """Replace the dispatch policy (spec string, policy, or ``None``
+        to re-resolve against ``REPRO_SCAN_SPARSE``)."""
+        self.context.set_sparse_policy(sparse)
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -124,7 +148,7 @@ class FeedforwardBPPSA(ExecutorOwner):
             )
             if jac is None:
                 continue  # identity Jacobian: same gradient slot as above
-            items.append(_to_element(jac))
+            items.append(self.sparse_policy.element(_to_element(jac)))
             appended += 1
         if positions and positions[0] > appended:
             raise ValueError(

@@ -25,6 +25,7 @@ from repro.scan import (
     DenseJacobian,
     GradientVector,
     ScanContext,
+    SparsePolicy,
     blelloch_scan,
     hillis_steele_scan,
     linear_scan,
@@ -44,6 +45,12 @@ class RNNBPPSA(ExecutorOwner):
     here from a spec string are owned by the engine; call
     :meth:`close` (or use the engine as a context manager) to release
     their workers.  Every backend yields bitwise-identical gradients.
+
+    ``sparse`` selects the scan's dense-vs-sparse dispatch policy (see
+    :class:`~repro.scan.SparsePolicy`); the vanilla RNN's hidden
+    Jacobians are fully dense, so the policy only matters when callers
+    feed CSR elements (e.g. pruned recurrent weights) — it is plumbed
+    through for API uniformity with :class:`FeedforwardBPPSA`.
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class RNNBPPSA(ExecutorOwner):
         algorithm: str = "blelloch",
         up_levels: int = 2,
         executor: Union[str, ScanExecutor, None] = None,
+        sparse: Union[str, SparsePolicy, None] = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
@@ -59,7 +67,17 @@ class RNNBPPSA(ExecutorOwner):
         self.algorithm = algorithm
         self.up_levels = up_levels
         self.set_executor(executor)
-        self.context = ScanContext(densify_threshold=None)
+        self.context = ScanContext(densify_threshold=None, sparse=sparse)
+
+    @property
+    def sparse_policy(self) -> SparsePolicy:
+        """The scan's dense-vs-sparse dispatch policy."""
+        return self.context.sparse_policy
+
+    def set_sparse_policy(self, sparse: Union[str, SparsePolicy, None]) -> None:
+        """Replace the dispatch policy (spec string, policy, or ``None``
+        to re-resolve against ``REPRO_SCAN_SPARSE``)."""
+        self.context.set_sparse_policy(sparse)
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:

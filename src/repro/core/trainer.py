@@ -71,6 +71,11 @@ class Trainer:
         experiment drivers that construct the engine elsewhere but
         choose the backend per run; requires ``engine`` to be a BPPSA
         engine (the taped baseline has no scan to dispatch).
+    sparse:
+        Optional dense-vs-sparse dispatch override for the engine's
+        scan — a :class:`~repro.scan.SparsePolicy` or a spec string
+        (``"auto"``, ``"on"``, ``"off"``, ``"auto:0.4"``).  Like
+        ``executor``, it requires a BPPSA ``engine``.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class Trainer:
         engine=None,
         forward_fn: Optional[Callable[[Tensor], Tensor]] = None,
         executor=None,
+        sparse=None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -99,6 +105,18 @@ class Trainer:
                     "the engine with its executor instead"
                 )
             engine.set_executor(executor)  # disposes a previously owned pool
+        if sparse is not None:
+            if engine is None:
+                raise ValueError(
+                    "sparse= selects the scan dispatch policy of a BPPSA "
+                    "engine; pass engine= as well (baseline BP has no scan)"
+                )
+            if not hasattr(engine, "set_sparse_policy"):
+                raise TypeError(
+                    "engine does not implement set_sparse_policy; construct "
+                    "the engine with its sparse policy instead"
+                )
+            engine.set_sparse_policy(sparse)
         self.forward_fn = forward_fn if forward_fn is not None else model
         self.loss_fn = CrossEntropyLoss()
 

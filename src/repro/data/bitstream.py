@@ -78,7 +78,8 @@ class BitstreamDataset:
         epoch_seed: int = 0,
     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Yield shuffled mini-batches ``(x (B, T, 1), y (B,))``."""
-        order = np.random.default_rng(self.seed ^ (epoch_seed + 0x9E3779B9)).permutation(
+        rng = np.random.default_rng(self.seed ^ (epoch_seed + 0x9E3779B9))
+        order = rng.permutation(
             self.num_samples
         )
         produced = 0

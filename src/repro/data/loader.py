@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, Iterator, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

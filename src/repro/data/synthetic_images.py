@@ -75,7 +75,8 @@ class SyntheticImages:
         epoch_seed: int = 0,
     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Yield shuffled mini-batches ``(x (B, C, H, W), y (B,))``."""
-        order = np.random.default_rng(self.seed ^ (epoch_seed + 0x5BD1E995)).permutation(
+        rng = np.random.default_rng(self.seed ^ (epoch_seed + 0x5BD1E995))
+        order = rng.permutation(
             self.num_samples
         )
         produced = 0

@@ -17,9 +17,8 @@ from typing import Dict, List
 from repro.experiments.common import Scale, format_table, print_report
 from repro.pram.machine import step_count, work_count
 from repro.scan import build_blelloch_dag, build_linear_dag
-from repro.scan.algorithms import hillis_steele_scan, simple_op
-from repro.scan.dag import dag_from_trace
-from repro.scan.elements import OpInfo, StepRecord
+from repro.scan.algorithms import hillis_steele_scan
+from repro.scan.elements import OpInfo
 
 PARAMS = {
     Scale.SMOKE: {"sizes": [8, 32, 128, 512, 2048], "workers": [1, 4, 16, 64, 10**9]},

@@ -7,7 +7,7 @@ and reports their guaranteed-zero sparsity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 

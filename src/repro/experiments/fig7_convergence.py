@@ -49,12 +49,14 @@ def _fresh_model(width: float, seed: int) -> Sequential:
 
 
 def _train(
-    use_bppsa: bool, p: Dict, seed: int, executor=None
+    use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None
 ) -> Dict:
     model = _fresh_model(p["width"], seed)
     opt = SGD(model.parameters(), lr=LR, momentum=MOMENTUM)
     engine = (
-        FeedforwardBPPSA(model, algorithm="blelloch", executor=executor)
+        FeedforwardBPPSA(
+            model, algorithm="blelloch", executor=executor, sparse=sparse
+        )
         if use_bppsa
         else None
     )
@@ -81,14 +83,16 @@ def _train(
     return {"train_losses": losses, "test_loss": test_loss, "test_acc": test_acc}
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None) -> Dict:
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None, sparse=None) -> Dict:
     """Reproduce the figure; ``executor`` picks the scan backend for
     the BPPSA run (``"serial"``, ``"thread:N"``, ``"process:N"``) —
     gradients, and hence the loss curve, are identical on every
-    backend."""
+    backend.  ``sparse`` picks the dense-vs-sparse dispatch policy
+    (``"auto"``, ``"on"``, ``"off"`` — see
+    :class:`~repro.scan.SparsePolicy`)."""
     p = PARAMS[scale]
     baseline = _train(use_bppsa=False, p=p, seed=seed)
-    bppsa = _train(use_bppsa=True, p=p, seed=seed, executor=executor)
+    bppsa = _train(use_bppsa=True, p=p, seed=seed, executor=executor, sparse=sparse)
     a = np.asarray(baseline["train_losses"])
     b = np.asarray(bppsa["train_losses"])
     return {
@@ -114,13 +118,14 @@ def result_rows(result: Dict) -> List[Dict]:
     ]
 
 
-def rows(scale: Scale = Scale.SMOKE, executor=None) -> List[Dict]:
+def rows(scale: Scale = Scale.SMOKE, executor=None, sparse=None) -> List[Dict]:
     """Structured data step: per-engine convergence summary.
 
     ``executor`` picks the scan backend for the BPPSA run (spec string,
-    instance, or ``None`` for the process default).
+    instance, or ``None`` for the process default); ``sparse`` the
+    dense-vs-sparse dispatch policy.
     """
-    return result_rows(run(scale, executor=executor))
+    return result_rows(run(scale, executor=executor, sparse=sparse))
 
 
 def render_report(result: Dict) -> str:

@@ -32,11 +32,11 @@ PARAMS = {
 LR = 3e-5
 
 
-def _train(use_bppsa: bool, p: Dict, seed: int, executor=None) -> Dict:
+def _train(use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None) -> Dict:
     clf = RNNClassifier(1, p["hidden"], 10, rng=np.random.default_rng(seed))
     opt = Adam(clf.parameters(), lr=LR)
     engine = (
-        RNNBPPSA(clf, algorithm="blelloch", executor=executor)
+        RNNBPPSA(clf, algorithm="blelloch", executor=executor, sparse=sparse)
         if use_bppsa
         else None
     )
@@ -56,15 +56,17 @@ def _train(use_bppsa: bool, p: Dict, seed: int, executor=None) -> Dict:
     }
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None) -> Dict:
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None, sparse=None) -> Dict:
     """Reproduce the figure; ``executor`` picks the scan backend for
     the BPPSA run (``"serial"``, ``"thread:N"``, ``"process:N"``) —
     gradients, and hence the loss curve, are identical on every
-    backend."""
+    backend.  ``sparse`` plumbs the scan's dispatch policy through for
+    API uniformity (the RNN's hidden Jacobians are dense, so it does
+    not change what is computed)."""
     p = PARAMS[scale]
     timing = simulate_rnn_iteration(p["seq_len"], p["batch"], p["hidden"], RTX_2070)
     baseline = _train(False, p, seed)
-    bppsa = _train(True, p, seed, executor=executor)
+    bppsa = _train(True, p, seed, executor=executor, sparse=sparse)
 
     iters = np.arange(1, p["iterations"] + 1)
     base_iter_s = timing.forward_seconds + timing.baseline_backward_seconds
@@ -118,13 +120,14 @@ def result_rows(result: Dict) -> List[Dict]:
     ]
 
 
-def rows(scale: Scale = Scale.SMOKE, executor=None) -> List[Dict]:
+def rows(scale: Scale = Scale.SMOKE, executor=None, sparse=None) -> List[Dict]:
     """Structured data step: per-engine loss/time summary.
 
     ``executor`` picks the scan backend for the BPPSA run (spec string,
-    instance, or ``None`` for the process default).
+    instance, or ``None`` for the process default); ``sparse`` the
+    scan's dispatch policy.
     """
-    return result_rows(run(scale, executor=executor))
+    return result_rows(run(scale, executor=executor, sparse=sparse))
 
 
 def render_report(result: Dict) -> str:

@@ -16,7 +16,6 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.layers import (
-    AvgPool2d,
     Conv2d,
     Flatten,
     Linear,

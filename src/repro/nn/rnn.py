@@ -13,11 +13,10 @@ form the scan's input array (Eq. 5).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor, ops
 

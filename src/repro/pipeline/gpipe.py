@@ -16,7 +16,7 @@ Reproduces the two properties the paper leans on (Section 2.2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 
 @dataclass

@@ -15,7 +15,9 @@ from typing import Dict, List
 from repro.pipeline.gpipe import gpipe_memory
 
 
-def bppsa_memory(num_stages: int, num_workers: int, jacobian_units: float = 1.0) -> float:
+def bppsa_memory(
+    num_stages: int, num_workers: int, jacobian_units: float = 1.0
+) -> float:
     """Θ(max(n/p, 1)) · M_Jacob per worker (paper Section 3.6)."""
     return max(num_stages / num_workers, 1.0) * jacobian_units
 

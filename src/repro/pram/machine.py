@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.pram.cost_model import GPUCostModel
-from repro.scan.dag import ScanDAG, TaskNode
+from repro.scan.dag import ScanDAG
 
 
 @dataclass

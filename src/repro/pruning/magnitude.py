@@ -10,7 +10,7 @@ during retraining so pruned weights stay zero.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Literal, Tuple
+from typing import Dict, List, Literal
 
 import numpy as np
 

@@ -10,6 +10,10 @@ producing ``[I, ∇x_n ℓ, ..., ∇x_1 ℓ]``.  This package provides:
 * typed scan elements (identity / gradient vector / dense / CSR
   Jacobians, batched across samples) and a :class:`ScanContext` that
   evaluates ⊙ with FLOP accounting and SpGEMM plan caching;
+* a density-threshold dispatch layer (:class:`SparsePolicy`) deciding
+  per element and per product whether composition runs in CSR/SpGEMM
+  or dense BLAS — ``REPRO_SCAN_SPARSE=auto|on|off`` overridable, see
+  :mod:`repro.scan.sparse_policy`;
 * :func:`linear_scan` — the serial baseline (equivalent to BP);
 * :func:`blelloch_scan` — the paper's modified Blelloch scan
   (Algorithm 1: operand order reversed in the down-sweep);
@@ -38,6 +42,13 @@ from repro.scan.elements import (
     ScanContext,
     SparseJacobian,
     StepRecord,
+)
+from repro.scan.sparse_policy import (
+    DEFAULT_DENSIFY_THRESHOLD,
+    SPARSE_ENV_VAR,
+    SPARSE_MODES,
+    SparsePolicy,
+    THRESHOLD_ENV_VAR,
 )
 from repro.scan.algorithms import (
     blelloch_scan,
@@ -71,6 +82,11 @@ __all__ = [
     "DenseJacobian",
     "SparseJacobian",
     "ScanContext",
+    "SparsePolicy",
+    "SPARSE_ENV_VAR",
+    "SPARSE_MODES",
+    "THRESHOLD_ENV_VAR",
+    "DEFAULT_DENSIFY_THRESHOLD",
     "OpInfo",
     "StepRecord",
     "linear_scan",

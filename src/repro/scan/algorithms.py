@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from repro.backend.executor import LevelTask, ScanExecutor
 from repro.backend.registry import get_executor
-from repro.scan.elements import IDENTITY, Identity, OpInfo
+from repro.scan.elements import IDENTITY, OpInfo
 
 OpFn = Callable[[Any, Any, OpInfo], Any]
 

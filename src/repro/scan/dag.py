@@ -21,7 +21,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.scan.algorithms import (
     blelloch_scan,
     linear_scan,
-    simple_op,
     truncated_blelloch_scan,
 )
 from repro.scan.elements import OpInfo, StepRecord

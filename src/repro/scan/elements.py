@@ -29,11 +29,12 @@ the quantities Figure 11 plots per scan step.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.scan.sparse_policy import SparsePolicy
 from repro.sparse import CSRMatrix, PatternCache, csr_matvec_batched
 
 
@@ -193,7 +194,7 @@ class StepRecord:
 
 
 class ScanContext:
-    """Evaluates ⊙ with plan caching, FLOP accounting, and densify policy.
+    """Evaluates ⊙ with plan caching, FLOP accounting, and sparse dispatch.
 
     Parameters
     ----------
@@ -201,18 +202,30 @@ class ScanContext:
         Shared :class:`PatternCache`; pass one per model so symbolic
         SpGEMM work amortizes across training iterations.
     densify_threshold:
-        Convert a sparse product to dense storage when its density
-        exceeds this value (products lose sparsity as the up-sweep
-        progresses — paper Section 5.2).  ``None`` disables.
+        Legacy form of the dispatch policy: convert a sparse product to
+        dense storage when its density exceeds this value (products
+        lose sparsity as the up-sweep progresses — paper Section 5.2).
+        ``None`` disables.  Ignored when ``sparse`` is given.
+    sparse:
+        The dense-vs-sparse dispatch policy — a
+        :class:`~repro.scan.sparse_policy.SparsePolicy`, a spec string
+        (``"auto"``, ``"on"``, ``"off"``, ``"auto:0.4"``), or ``None``
+        to follow ``$REPRO_SCAN_SPARSE`` (falling back to ``auto``
+        with ``densify_threshold``).  In ``off`` mode every sparse
+        operand is densified before it is combined, so the context
+        computes the pure dense path.
     """
 
     def __init__(
         self,
         pattern_cache: Optional[PatternCache] = None,
         densify_threshold: Optional[float] = 0.25,
+        sparse: Union[SparsePolicy, str, None] = None,
     ) -> None:
         self.cache = pattern_cache if pattern_cache is not None else PatternCache()
-        self.densify_threshold = densify_threshold
+        self.sparse_policy = SparsePolicy.resolve(
+            sparse, densify_threshold=densify_threshold
+        )
         self.trace: List[StepRecord] = []
         self.total_flops = 0
         # ⊙ may be evaluated concurrently by a thread-backend scan
@@ -224,6 +237,20 @@ class ScanContext:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    @property
+    def densify_threshold(self) -> Optional[float]:
+        """Density bound of the dispatch policy (legacy accessor)."""
+        return self.sparse_policy.densify_threshold
+
+    def set_sparse_policy(self, sparse: Union[SparsePolicy, str, None]) -> None:
+        """Replace the dense-vs-sparse dispatch policy.
+
+        Accepts the same specs as the constructor's ``sparse``
+        argument; ``None`` re-resolves against ``$REPRO_SCAN_SPARSE``.
+        The pattern cache and trace are untouched.
+        """
+        self.sparse_policy = SparsePolicy.resolve(sparse)
+
     def reset_trace(self) -> None:
         with self._lock:
             self.trace = []
@@ -240,6 +267,12 @@ class ScanContext:
 
     def op(self, a: ScanElement, b: ScanElement, info: Optional[OpInfo] = None):
         """Apply ``a ⊙ b`` (= ``b·a``), recording cost."""
+        if self.sparse_policy.mode == "off":
+            # Pure dense path: sparse storage never reaches a kernel.
+            if isinstance(a, SparseJacobian):
+                a = a.to_dense()
+            if isinstance(b, SparseJacobian):
+                b = b.to_dense()
         if isinstance(a, Identity):
             return b
         if isinstance(b, Identity):
@@ -291,19 +324,9 @@ class ScanContext:
 
         if isinstance(b, SparseJacobian) and isinstance(a, SparseJacobian):
             plan = self.cache.plan_for(b.pattern, a.pattern)
-            flops = plan.flops * max(batch or 1, 1)
-            if b.shared and a.shared:
-                out = SparseJacobian(plan.execute(b.pattern, a.pattern))
-            else:
-                vals = plan.execute_batched(b.values(), a.values())
-                out_pattern = CSRMatrix(
-                    plan.out_indptr,
-                    plan.out_indices,
-                    np.ones(plan.out_nnz),
-                    plan.out_shape,
-                )
-                out = SparseJacobian(out_pattern, vals)
-            return self._maybe_densify(out), flops, mnk
+            vals = plan.execute_batched(b.values(), a.values())
+            result, flops = self._wrap_sparse_product(a, b, plan, vals)
+            return result, flops, mnk
 
         # At least one dense operand → dense result.
         b_dense = b.to_dense().data if isinstance(b, SparseJacobian) else b.data
@@ -314,7 +337,10 @@ class ScanContext:
             flops = 2 * a.nnz * m * max(batch or 1, 1)
         else:
             flops, _ = _dense_mm_cost(a, b)
-        out_data = b_dense @ a_dense if (b_dense.ndim == 2 and a_dense.ndim == 2) else np.matmul(b_dense, a_dense)
+        if b_dense.ndim == 2 and a_dense.ndim == 2:
+            out_data = b_dense @ a_dense
+        else:
+            out_data = np.matmul(b_dense, a_dense)
         return DenseJacobian(out_data), flops, mnk
 
     def record_dense_matmat(
@@ -335,12 +361,76 @@ class ScanContext:
         self._record(info, "mm", flops, mnk, result)
 
     def _maybe_densify(self, s: SparseJacobian) -> ScanElement:
-        if (
-            self.densify_threshold is not None
-            and s.pattern.density > self.densify_threshold
-        ):
+        if not self.sparse_policy.keep_product_sparse(s.pattern.density):
             return s.to_dense()
         return s
+
+    def _wrap_sparse_product(
+        self, a: SparseJacobian, b: SparseJacobian, plan, out_values: np.ndarray
+    ) -> Tuple[ScanElement, int]:
+        """Wrap an SpGEMM numeric-phase output into the result element.
+
+        ``out_values`` is the ``(B, out_nnz)`` value matrix of ``plan``
+        for ``a ⊙ b = b·a``.  The single source of truth for sparse
+        mat–mat result representation, densify decision, and FLOP cost
+        — shared by the inline path (:meth:`_matmat`) and the process
+        backend's parent-side completion
+        (:meth:`complete_sparse_matmat`), which is what keeps offloaded
+        and inline execution in lockstep.
+        """
+        if b.shared and a.shared:
+            out = SparseJacobian(
+                CSRMatrix(
+                    plan.out_indptr, plan.out_indices, out_values[0], plan.out_shape
+                )
+            )
+        else:
+            out_pattern = CSRMatrix(
+                plan.out_indptr,
+                plan.out_indices,
+                np.ones(plan.out_nnz),
+                plan.out_shape,
+            )
+            out = SparseJacobian(out_pattern, out_values)
+        flops = plan.flops * max(_result_batch(a, b) or 1, 1)
+        return self._maybe_densify(out), flops
+
+    # ------------------------------------------------------------------
+    # process-backend sparse offload protocol
+    # ------------------------------------------------------------------
+    def sparse_offload_plan(self, a: SparseJacobian, b: SparseJacobian):
+        """The cached :class:`~repro.sparse.SpGEMMPlan` that the inline
+        path would use for ``a ⊙ b`` (= ``b·a``).
+
+        The process backend calls this in the *parent* so the symbolic
+        phase always runs against (and populates) the parent's pattern
+        cache; only the numeric phase ships to a worker.
+        """
+        return self.cache.plan_for(b.pattern, a.pattern)
+
+    def complete_sparse_matmat(
+        self,
+        a: SparseJacobian,
+        b: SparseJacobian,
+        info: OpInfo,
+        plan,
+        out_values: np.ndarray,
+    ) -> ScanElement:
+        """Finish a sparse ``a ⊙ b`` whose numeric phase ran externally.
+
+        ``out_values`` is the worker's ``(B, out_nnz)`` value matrix for
+        ``plan`` (from :func:`repro.sparse.spgemm_numeric_batched`, the
+        same kernel the inline path runs — so the finished element is
+        bitwise-identical to in-process execution).  Wraps the values in
+        the inline path's result representation, applies the densify
+        policy, and records FLOPs in the parent's trace.
+        """
+        out_values = np.asarray(out_values, dtype=np.float64)
+        result, flops = self._wrap_sparse_product(a, b, plan, out_values)
+        m, k = b.shape
+        n = a.shape[1]
+        self._record(info, "mm", flops, m * n * k, result)
+        return result
 
 
 def _dense_mm_cost(a: ScanElement, b: ScanElement) -> Tuple[int, int]:

@@ -31,6 +31,7 @@ from repro.sparse.spgemm import (
     build_spgemm_plan,
     spgemm,
     spgemm_flops,
+    spgemm_numeric_batched,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "build_spgemm_plan",
     "PatternCache",
     "spgemm_flops",
+    "spgemm_numeric_batched",
 ]

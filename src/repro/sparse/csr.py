@@ -8,7 +8,7 @@ kernels are vectorized — no per-element Python loops.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -188,7 +188,9 @@ class CSRMatrix:
         d = np.asarray(d)
         if d.shape != (self.shape[1],):
             raise ValueError("diagonal length mismatch")
-        return CSRMatrix(self.indptr, self.indices, self.data * d[self.indices], self.shape)
+        return CSRMatrix(
+            self.indptr, self.indices, self.data * d[self.indices], self.shape
+        )
 
     def with_data(self, data: np.ndarray) -> "CSRMatrix":
         """Same pattern, new values (the deterministic-pattern workflow)."""

@@ -118,20 +118,42 @@ class SpGEMMPlan:
         is how BPPSA multiplies per-sample Jacobians that share one
         deterministic sparsity pattern with a *single* symbolic plan.
         """
-        data_a = np.atleast_2d(np.asarray(data_a, dtype=np.float64))
-        data_b = np.atleast_2d(np.asarray(data_b, dtype=np.float64))
-        batch = max(data_a.shape[0], data_b.shape[0])
-        vals = data_a[:, self.src_a] * data_b[:, self.src_b]  # (B, n_expanded)
-        if vals.shape[1] == 0:
-            return np.zeros((batch, self.out_nnz))
-        # One flat bincount covers the whole batch.
-        offsets = (
-            np.arange(batch, dtype=np.int64)[:, None] * self.out_nnz + self.scatter
+        return spgemm_numeric_batched(
+            self.src_a, self.src_b, self.scatter, self.out_nnz, data_a, data_b
         )
-        flat = np.bincount(
-            offsets.reshape(-1), weights=vals.reshape(-1), minlength=batch * self.out_nnz
-        )
-        return flat.reshape(batch, self.out_nnz)
+
+
+def spgemm_numeric_batched(
+    src_a: np.ndarray,
+    src_b: np.ndarray,
+    scatter: np.ndarray,
+    out_nnz: int,
+    data_a: np.ndarray,
+    data_b: np.ndarray,
+) -> np.ndarray:
+    """SpGEMM numeric phase on raw plan arrays.
+
+    The batched gather–multiply–segment-sum at the heart of
+    :meth:`SpGEMMPlan.execute_batched`, callable with nothing but the
+    plan's index arrays.  The process scan backend runs exactly this
+    function inside a worker against shared-memory views of the plan,
+    which is what keeps offloaded sparse products bitwise-identical to
+    inline execution: both paths are the *same* NumPy calls in the same
+    order.  ``data_a``/``data_b`` broadcast like in ``execute_batched``
+    ((B, nnz) or (nnz,) / (1, nnz) shared values).
+    """
+    data_a = np.atleast_2d(np.asarray(data_a, dtype=np.float64))
+    data_b = np.atleast_2d(np.asarray(data_b, dtype=np.float64))
+    batch = max(data_a.shape[0], data_b.shape[0])
+    vals = data_a[:, src_a] * data_b[:, src_b]  # (B, n_expanded)
+    if vals.shape[1] == 0:
+        return np.zeros((batch, out_nnz))
+    # One flat bincount covers the whole batch.
+    offsets = np.arange(batch, dtype=np.int64)[:, None] * out_nnz + scatter
+    flat = np.bincount(
+        offsets.reshape(-1), weights=vals.reshape(-1), minlength=batch * out_nnz
+    )
+    return flat.reshape(batch, out_nnz)
 
 
 def build_spgemm_plan(a: CSRMatrix, b: CSRMatrix) -> SpGEMMPlan:

@@ -14,7 +14,6 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.tensor.function import Context, Function, unbroadcast
-from repro.tensor.tensor import Tensor
 
 Axis = Union[None, int, Tuple[int, ...]]
 
@@ -163,7 +162,9 @@ class ReLU(Function):
 
 class LeakyReLU(Function):
     @staticmethod
-    def forward(ctx: Context, a: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    def forward(
+        ctx: Context, a: np.ndarray, negative_slope: float = 0.01
+    ) -> np.ndarray:
         scale = np.where(a > 0, 1.0, negative_slope)
         ctx.save_for_backward(scale)
         return a * scale
@@ -238,7 +239,11 @@ class Max(Function):
         ctx.axis = axis
         ctx.keepdims = keepdims
         ctx.in_shape = a.shape
-        return out if keepdims else np.squeeze(out, axis=axis) if axis is not None else out.reshape(())
+        if keepdims:
+            return out
+        if axis is not None:
+            return np.squeeze(out, axis=axis)
+        return out.reshape(())
 
     @staticmethod
     def backward(ctx: Context, g: np.ndarray):
@@ -555,6 +560,8 @@ class Softmax(Function):
 # ---------------------------------------------------------------------------
 # functional wrappers
 # ---------------------------------------------------------------------------
+# wrapper table reads best one per line
+# fmt: off
 def add(a, b): return Add.apply(a, b)
 def sub(a, b): return Sub.apply(a, b)
 def mul(a, b): return Mul.apply(a, b)
@@ -566,12 +573,14 @@ def log(a): return Log.apply(a)
 def tanh(a): return Tanh.apply(a)
 def sigmoid(a): return Sigmoid.apply(a)
 def relu(a): return ReLU.apply(a)
-def leaky_relu(a, negative_slope=0.01): return LeakyReLU.apply(a, negative_slope=negative_slope)
+def leaky_relu(a, negative_slope=0.01):
+    return LeakyReLU.apply(a, negative_slope=negative_slope)
 def elu(a, alpha=1.0): return ELU.apply(a, alpha=alpha)
 def matmul(a, b): return MatMul.apply(a, b)
 def reshape(a, shape): return Reshape.apply(a, shape=tuple(shape))
 def transpose(a, axes=None): return Transpose.apply(a, axes=axes)
 def getitem(a, idx): return GetItem.apply(a, idx=idx)
+# fmt: on
 
 
 def sum(a, axis=None, keepdims=False):  # noqa: A001 - mirrors numpy naming

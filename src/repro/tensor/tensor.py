@@ -113,7 +113,9 @@ class Tensor:
         return self.data.dtype
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size == 1:
+            return float(self.data.reshape(-1)[0])
+        return float(self.data)
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (shared, not copied)."""
@@ -195,6 +197,8 @@ class Tensor:
 
         return ops
 
+    # operator table reads best one per line
+    # fmt: off
     def __add__(self, other): return self._ops().add(self, _wrap(other))
     def __radd__(self, other): return self._ops().add(_wrap(other), self)
     def __sub__(self, other): return self._ops().sub(self, _wrap(other))
@@ -207,6 +211,7 @@ class Tensor:
     def __matmul__(self, other): return self._ops().matmul(self, _wrap(other))
     def __pow__(self, exponent: float): return self._ops().power(self, exponent)
     def __getitem__(self, idx): return self._ops().getitem(self, idx)
+    # fmt: on
 
     def sum(self, axis=None, keepdims: bool = False):
         return self._ops().sum(self, axis=axis, keepdims=keepdims)
@@ -226,11 +231,14 @@ class Tensor:
     def T(self):
         return self.transpose()
 
+    # pointwise-method table, one per line
+    # fmt: off
     def exp(self): return self._ops().exp(self)
     def log(self): return self._ops().log(self)
     def tanh(self): return self._ops().tanh(self)
     def sigmoid(self): return self._ops().sigmoid(self)
     def relu(self): return self._ops().relu(self)
+    # fmt: on
 
 
 def _wrap(value) -> "Tensor":

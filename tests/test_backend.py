@@ -23,7 +23,6 @@ from repro.backend import (
     get_executor,
     register_backend,
 )
-from repro.backend import registry as _registry_mod
 from repro.scan import (
     DenseJacobian,
     GradientVector,

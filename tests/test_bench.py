@@ -166,11 +166,39 @@ class TestCompare:
         assert statuses["old_only"] == "removed"
         assert statuses["new_only"] == "added"
 
+    def test_missing_baseline_record_exits_nonzero(self, tmp_path, capsys):
+        """A baseline record absent from the new results is structural
+        drift: exit 2 with a clear message, even in report-only mode."""
+        old = [_record(), _record("old_only")]
+        new = [_record()]
+        a = write_results(old, tmp_path / "a")
+        b = write_results(new, tmp_path / "b")
+        assert compare_main([str(a), str(b)]) == 2
+        out = capsys.readouterr().out
+        assert "old_only" in out and "missing" in out
+        # timing gate may be report-only; the structural gate is not
+        assert compare_main([str(a), str(b), "--report-only"]) == 2
+        # explicit escape hatch
+        assert compare_main([str(a), str(b), "--allow-missing"]) == 0
+        # added-only drift never gates
+        assert compare_main([str(b), str(a)]) == 0
+
+    def test_unreadable_results_exit_2_with_message(self, tmp_path, capsys):
+        good = write_results([_record()], tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"no_records": []}')
+        assert compare_main([str(good), str(bad)]) == 2
+        assert "cannot load" in capsys.readouterr().out
+        missing_file = tmp_path / "nope.json"
+        assert compare_main([str(good), str(missing_file)]) == 2
+
 
 class TestMeasure:
     def test_measure_returns_result_and_stats(self):
         calls = []
-        result, stats = measure(lambda: calls.append(1) or len(calls), warmup=2, repeats=3)
+        result, stats = measure(
+            lambda: calls.append(1) or len(calls), warmup=2, repeats=3
+        )
         assert len(calls) == 5  # 2 warmup + 3 timed
         assert result == 5  # the final timed call's return value
         assert stats.repeats == 3 and stats.warmup == 2
@@ -215,8 +243,10 @@ class TestRunner:
 
     def test_artifact_catalog_covers_all_paper_artifacts(self):
         names = artifact_names()
-        assert len(names) == 14  # 13 experiments + parallel_backends
+        # 13 experiments + the two scan microbenchmarks
+        assert len(names) == 15
         assert "parallel_backends" in names
+        assert "sparse_scan" in names
 
 
 class TestExperimentDataViewSplit:

@@ -1,7 +1,6 @@
 """Tests for the engine-agnostic Trainer (the Fig. 7/9 workhorse)."""
 
 import numpy as np
-import pytest
 
 from repro.core import FeedforwardBPPSA, RNNBPPSA, Trainer
 from repro.data import SyntheticImages

@@ -2,7 +2,6 @@
 paper's qualitative claims at SMOKE scale."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import Scale
 from repro.experiments import (
@@ -89,9 +88,11 @@ class TestTable1:
         r = table1_sparsity.run(Scale.SMOKE)
         by_name = {x["operator"]: x for x in r["rows"]}
         # paper-configuration formulas match Table 1's quoted values
-        assert abs(by_name["Convolution"]["sparsity_formula_paper_cfg"] - 0.99157) < 2e-4
+        conv = by_name["Convolution"]["sparsity_formula_paper_cfg"]
+        assert abs(conv - 0.99157) < 2e-4
         assert abs(by_name["ReLU"]["sparsity_formula_paper_cfg"] - 0.99998) < 1e-5
-        assert abs(by_name["Max-pooling"]["sparsity_formula_paper_cfg"] - 0.99994) < 1e-5
+        pool = by_name["Max-pooling"]["sparsity_formula_paper_cfg"]
+        assert abs(pool - 0.99994) < 1e-5
         # analytical generation beats autograd column-at-a-time everywhere
         for row in r["rows"]:
             assert row["generation_speedup"] > 5.0

@@ -9,7 +9,7 @@ from repro.experiments import ablation_truncation
 from repro.experiments.common import Scale
 from repro.jacobian import autograd_tjac, layer_tjac_batched
 from repro.nn import CrossEntropyLoss, Sequential, make_mlp
-from repro.nn.layers import ELU, Conv2d, Flatten, LeakyReLU, Linear, Tanh
+from repro.nn.layers import ELU, Conv2d, Flatten, LeakyReLU, Linear
 from repro.nn.serialization import load_checkpoint, save_checkpoint
 from repro.tensor import Tensor, gradcheck, ops
 

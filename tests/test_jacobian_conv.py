@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.jacobian import autograd_tjac, conv2d_tjac, conv2d_tjac_pruned, conv3x3p1_tjac_paper
+from repro.jacobian import (
+    autograd_tjac,
+    conv2d_tjac,
+    conv2d_tjac_pruned,
+    conv3x3p1_tjac_paper,
+)
 from repro.tensor import Tensor, ops
 
 
@@ -12,7 +17,9 @@ def reference_tjac(weight, hw, stride, padding):
     x = np.random.default_rng(1).standard_normal((ci, *hw))
     w = Tensor(weight)
     return autograd_tjac(
-        lambda t: ops.conv2d(t.reshape(1, ci, *hw), w, None, stride=stride, padding=padding),
+        lambda t: ops.conv2d(
+            t.reshape(1, ci, *hw), w, None, stride=stride, padding=padding
+        ),
         x,
         as_csr=False,
     )
@@ -62,7 +69,9 @@ class TestExactGenerator:
 
 
 class TestPaperLayout:
-    @pytest.mark.parametrize("ci,co,hw", [(1, 1, (3, 3)), (2, 3, (5, 4)), (3, 2, (4, 6))])
+    @pytest.mark.parametrize(
+    "ci,co,hw", [(1, 1, (3, 3)), (2, 3, (5, 4)), (3, 2, (4, 6))]
+)
     def test_dense_equals_exact(self, rng, ci, co, hw):
         w = rng.standard_normal((co, ci, 3, 3))
         paper = conv3x3p1_tjac_paper(w, hw)

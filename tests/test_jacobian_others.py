@@ -177,7 +177,9 @@ class TestDispatch:
         layer = L.Linear(5, 4, rng=rng)
         layer.weight.data[np.abs(layer.weight.data) < 0.2] = 0.0
         x = rng.standard_normal((2, 5))
-        jac = layer_tjac_batched(layer, x, x @ layer.weight.data.T, sparse_linear_tol=0.0)
+        jac = layer_tjac_batched(
+            layer, x, x @ layer.weight.data.T, sparse_linear_tol=0.0
+        )
         assert jac.is_sparse and jac.is_shared
         np.testing.assert_allclose(
             jac.pattern.to_dense(), layer.weight.data.T

@@ -1,7 +1,5 @@
 """Tests for the scan-DAG builders and trace grouping."""
 
-import numpy as np
-import pytest
 
 from repro.scan import (
     DenseJacobian,

@@ -1,0 +1,350 @@
+"""Tier-1 tests for the sparse scan execution path.
+
+Covers the density-threshold dispatch layer
+(:class:`repro.scan.SparsePolicy` — mode parsing, env override,
+boundary decisions), the :class:`~repro.scan.ScanContext` integration
+(``off`` never touches CSR kernels, ``on`` never densifies, ``auto``
+flips exactly at the threshold), the bitwise cross-backend guarantee of
+the sparse path (serial / thread / process), and the process backend's
+CSR-over-shared-memory SpGEMM round-trip.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backend import LevelTask, ProcessPoolScanExecutor, SerialExecutor
+from repro.core import FeedforwardBPPSA
+from repro.jacobian.conv import conv2d_tjac
+from repro.nn import LeNet5, Sequential
+from repro.scan import (
+    DEFAULT_DENSIFY_THRESHOLD,
+    DenseJacobian,
+    GradientVector,
+    OpInfo,
+    SPARSE_ENV_VAR,
+    ScanContext,
+    SparseJacobian,
+    SparsePolicy,
+    THRESHOLD_ENV_VAR,
+    blelloch_scan,
+)
+from repro.sparse import CSRMatrix, csr_from_diagonal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _conv_pattern(rng, channels=4, hw=(8, 8)):
+    weight = rng.standard_normal((channels, channels, 3, 3))
+    return conv2d_tjac(weight, hw, padding=1)
+
+
+def _sparse_items(rng, policy, stages=8, batch=2, channels=4, hw=(8, 8)):
+    """Gradient seed + alternating conv / per-sample diagonal CSR chain."""
+    conv = _conv_pattern(rng, channels, hw)
+    dim = channels * hw[0] * hw[1]
+    items = [GradientVector(rng.standard_normal((batch, dim)))]
+    for stage in range(stages):
+        if stage % 2 == 0:
+            items.append(policy.element(SparseJacobian(conv)))
+        else:
+            diag = csr_from_diagonal(np.ones(dim))
+            items.append(
+                policy.element(
+                    SparseJacobian(diag, rng.standard_normal((batch, dim)))
+                )
+            )
+    return items
+
+
+class TestSparsePolicy:
+    def test_modes_and_validation(self):
+        assert SparsePolicy("auto").mode == "auto"
+        assert SparsePolicy("on").keep_product_sparse(1.0)
+        assert not SparsePolicy("off").keep_element_sparse(0.0)
+        with pytest.raises(ValueError, match="mode"):
+            SparsePolicy("maybe")
+        with pytest.raises(ValueError, match="threshold"):
+            SparsePolicy("auto", densify_threshold=1.5)
+
+    def test_spec_parsing(self):
+        p = SparsePolicy.parse("auto:0.4")
+        assert p.mode == "auto" and p.densify_threshold == 0.4
+        with pytest.raises(ValueError, match="threshold"):
+            SparsePolicy.parse("auto:lots")
+        with pytest.raises(ValueError, match="mode"):
+            SparsePolicy.parse("sparse:0.4")
+
+    def test_resolve_precedence(self, monkeypatch):
+        # explicit spec wins over the environment
+        monkeypatch.setenv(SPARSE_ENV_VAR, "off")
+        assert SparsePolicy.resolve("on").mode == "on"
+        # None follows the environment
+        assert SparsePolicy.resolve(None).mode == "off"
+        # unset environment → legacy densify_threshold semantics
+        monkeypatch.delenv(SPARSE_ENV_VAR)
+        p = SparsePolicy.resolve(None, densify_threshold=None)
+        assert p.mode == "auto" and p.densify_threshold is None
+        assert p.keep_product_sparse(1.0)  # None → never densify
+        assert (
+            SparsePolicy.resolve(None).densify_threshold
+            == DEFAULT_DENSIFY_THRESHOLD
+        )
+        with pytest.raises(TypeError):
+            SparsePolicy.resolve(1.5)
+
+    def test_threshold_env(self, monkeypatch):
+        monkeypatch.setenv(THRESHOLD_ENV_VAR, "0.5")
+        assert SparsePolicy.resolve(None).densify_threshold == 0.5
+        assert SparsePolicy.parse("auto").densify_threshold == 0.5
+        monkeypatch.setenv(THRESHOLD_ENV_VAR, "half")
+        with pytest.raises(ValueError, match=THRESHOLD_ENV_VAR):
+            SparsePolicy.resolve(None)
+
+    def test_dispatch_boundaries(self):
+        p = SparsePolicy("auto", densify_threshold=0.3)
+        assert p.keep_element_sparse(0.3)  # inclusive at the bound
+        assert not p.keep_element_sparse(0.3 + 1e-9)
+        assert SparsePolicy("on").keep_element_sparse(0.99)
+        assert not SparsePolicy("off").keep_element_sparse(0.01)
+
+    def test_element_densifies_above_threshold(self, rng):
+        dense_pattern = CSRMatrix.from_dense(rng.standard_normal((4, 4)))
+        sparse_pattern = csr_from_diagonal(np.ones(4))
+        p = SparsePolicy("auto", densify_threshold=0.5)
+        assert isinstance(p.element(SparseJacobian(dense_pattern)), DenseJacobian)
+        assert isinstance(p.element(SparseJacobian(sparse_pattern)), SparseJacobian)
+        # non-sparse elements pass through untouched
+        dj = DenseJacobian(rng.standard_normal((4, 4)))
+        assert SparsePolicy("off").element(dj) is dj
+
+
+class TestScanContextDispatch:
+    def test_off_mode_never_produces_sparse(self, rng):
+        policy = SparsePolicy("off")
+        ctx = ScanContext(sparse=policy)
+        out = blelloch_scan(_sparse_items(rng, policy), ctx.op)
+        assert not any(isinstance(el, SparseJacobian) for el in out)
+        assert not any(
+            "Sparse" in rec.out_repr for rec in ctx.trace
+        )  # no CSR intermediate anywhere
+        # even raw sparse operands are densified at the ⊙ boundary
+        diag = csr_from_diagonal(np.ones(4))
+        prod = ctx.op(SparseJacobian(diag), SparseJacobian(diag))
+        assert isinstance(prod, DenseJacobian)
+
+    def test_on_mode_never_densifies(self, rng):
+        # a product of two half-dense patterns is dense, yet stays CSR
+        a = CSRMatrix.from_dense(
+            np.where(rng.random((6, 6)) < 0.5, rng.standard_normal((6, 6)), 0.0)
+        )
+        ctx = ScanContext(sparse="on")
+        prod = ctx.op(SparseJacobian(a), SparseJacobian(a))
+        assert isinstance(prod, SparseJacobian)
+
+    def test_auto_densifies_products_over_threshold(self):
+        # diag @ diag stays diagonal (density 1/n → sparse);
+        # a dense row times a dense column would exceed the bound
+        n = 8
+        diag = csr_from_diagonal(np.arange(1.0, n + 1))
+        ctx = ScanContext(sparse="auto:0.2")
+        assert isinstance(ctx.op(SparseJacobian(diag), SparseJacobian(diag)),
+                          SparseJacobian)
+        dense = CSRMatrix.from_dense(np.ones((n, n)))
+        assert isinstance(ctx.op(SparseJacobian(dense), SparseJacobian(dense)),
+                          DenseJacobian)
+
+    def test_legacy_densify_threshold_mapping(self):
+        assert ScanContext(densify_threshold=None).sparse_policy.keep_product_sparse(
+            1.0
+        )
+        ctx = ScanContext(densify_threshold=0.0)
+        assert not ctx.sparse_policy.keep_product_sparse(0.01)
+        assert ctx.densify_threshold == 0.0  # legacy accessor
+
+    def test_set_sparse_policy(self):
+        ctx = ScanContext()
+        ctx.set_sparse_policy("off")
+        assert ctx.sparse_policy.mode == "off"
+        ctx.set_sparse_policy(SparsePolicy("on"))
+        assert ctx.sparse_policy.mode == "on"
+
+
+class TestCrossBackendBitwise:
+    """The tentpole guarantee: for any fixed dispatch mode, gradients
+    are bitwise-identical on serial, thread, and process backends."""
+
+    BACKENDS = ("serial", "thread:2", "process:2")
+
+    @staticmethod
+    def _grads(mode, backend):
+        net = LeNet5(rng=np.random.default_rng(0), width_multiplier=0.25)
+        model = Sequential(*(list(net.features) + list(net.classifier)))
+        x = np.random.default_rng(1).standard_normal((2, 3, 32, 32))
+        y = np.array([0, 1])
+        with FeedforwardBPPSA(model, executor=backend, sparse=mode) as eng:
+            grads = eng.compute_gradients(x, y)
+            flops = eng.context.total_flops
+        ordered = [grads[id(p)] for p in model.parameters() if id(p) in grads]
+        return ordered, flops
+
+    @pytest.mark.parametrize("mode", ["on", "auto", "off"])
+    def test_bitwise_identical_across_backends(self, mode):
+        ref, ref_flops = self._grads(mode, "serial")
+        for backend in self.BACKENDS[1:]:
+            out, flops = self._grads(mode, backend)
+            assert len(out) == len(ref)
+            for a, b in zip(ref, out):
+                assert np.array_equal(a, b)
+            assert flops == ref_flops  # same kernels, same accounting
+
+    def test_sparse_agrees_with_dense_path(self):
+        # Exact reconstruction up to floating-point reassociation
+        # (paper Section 3.5): CSR kernels sum contributions in column
+        # order, BLAS may re-associate the same sums.
+        sparse, sparse_flops = self._grads("on", "serial")
+        dense, dense_flops = self._grads("off", "serial")
+        for a, b in zip(sparse, dense):
+            np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+        assert sparse_flops < dense_flops  # the point of the sparse path
+
+
+class _CountingProcessExecutor(ProcessPoolScanExecutor):
+    """Process executor that counts sparse/dense worker submissions."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.sparse_submissions = 0
+        self.dense_submissions = 0
+
+    def _submit_sparse(self, pool, segments, t, plan):
+        self.sparse_submissions += 1
+        return super()._submit_sparse(pool, segments, t, plan)
+
+    def _submit_dense(self, pool, segments, t):
+        self.dense_submissions += 1
+        return super()._submit_dense(pool, segments, t)
+
+
+class TestProcessSparseOffload:
+    """CSR-over-shared-memory round-trip of the process backend."""
+
+    def _level(self, rng, ctx, n_tasks=4, batch=3):
+        conv = _conv_pattern(rng)
+        dim = conv.shape[0]
+        tasks = []
+        for i in range(n_tasks):
+            a = SparseJacobian(conv, rng.standard_normal((batch, conv.nnz)))
+            b = SparseJacobian(conv, rng.standard_normal((batch, conv.nnz)))
+            tasks.append(LevelTask(ctx.op, a, b, OpInfo("up", 0, 2 * i, 2 * i + 1)))
+        assert dim > 0
+        return tasks
+
+    def test_spgemm_round_trip_bitwise(self, rng):
+        ctx_serial = ScanContext(sparse="on")
+        ref = SerialExecutor().run_level(self._level(rng, ctx_serial))
+
+        rng2 = np.random.default_rng(7)
+        ctx_proc = ScanContext(sparse="on")
+        ex = _CountingProcessExecutor(num_workers=2, min_offload_mnk=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no degradation warnings allowed
+            try:
+                out = ex.run_level(self._level(rng2, ctx_proc))
+            finally:
+                ex.close()
+        assert ex.sparse_submissions == 4  # the offload really happened
+        for r, o in zip(ref, out):
+            assert isinstance(o, SparseJacobian) and isinstance(r, SparseJacobian)
+            assert np.array_equal(r.pattern.indptr, o.pattern.indptr)
+            assert np.array_equal(r.pattern.indices, o.pattern.indices)
+            assert np.array_equal(r.values(), o.values())
+        # parent-side accounting matches inline execution exactly
+        assert ctx_proc.total_flops == ctx_serial.total_flops
+        assert len(ctx_proc.trace) == len(ctx_serial.trace)
+
+    def test_small_products_stay_inline(self, rng):
+        ctx = ScanContext(sparse="on")
+        diag = csr_from_diagonal(np.ones(4))
+        tasks = [
+            LevelTask(
+                ctx.op,
+                SparseJacobian(diag, rng.standard_normal((2, 4))),
+                SparseJacobian(diag, rng.standard_normal((2, 4))),
+                OpInfo("up", 0, 2 * i, 2 * i + 1),
+            )
+            for i in range(3)
+        ]
+        ex = _CountingProcessExecutor(num_workers=2)  # default threshold
+        try:
+            out = ex.run_level(tasks)
+        finally:
+            ex.close()
+        assert ex.sparse_submissions == 0
+        assert all(isinstance(o, SparseJacobian) for o in out)
+
+    def test_off_mode_is_not_sparse_offloaded(self, rng):
+        ctx = ScanContext(sparse="off")
+        conv = _conv_pattern(rng)
+        tasks = [
+            LevelTask(
+                ctx.op,
+                SparseJacobian(conv, rng.standard_normal((2, conv.nnz))),
+                SparseJacobian(conv, rng.standard_normal((2, conv.nnz))),
+                OpInfo("up", 0, 2 * i, 2 * i + 1),
+            )
+            for i in range(3)
+        ]
+        ex = _CountingProcessExecutor(num_workers=2, min_offload_mnk=1)
+        try:
+            out = ex.run_level(tasks)
+        finally:
+            ex.close()
+        assert ex.sparse_submissions == 0  # inline path densifies instead
+        assert all(isinstance(o, DenseJacobian) for o in out)
+
+
+class TestBenchSparseAxis:
+    def test_sparse_scan_sweep_records_both_modes(self):
+        from repro.bench import run_bench
+        from repro.experiments.common import Scale
+
+        records = run_bench(
+            Scale.SMOKE,
+            backends=["serial"],
+            artifacts=["sparse_scan", "parallel_backends"],
+            sparse_modes=("off", "on"),
+        )
+        keys = {(r.artifact, r.backend) for r in records}
+        assert keys == {
+            ("sparse_scan", "serial[sparse=off]"),
+            ("sparse_scan", "serial[sparse=on]"),
+            ("parallel_backends", "serial"),  # not sparse-sensitive
+        }
+        by_backend = {r.backend: r for r in records if r.artifact == "sparse_scan"}
+        assert all(r.num_rows == 1 for r in by_backend.values())
+
+    def test_sparse_axis_off_keeps_plain_keys(self):
+        from repro.bench import run_bench
+        from repro.experiments.common import Scale
+
+        records = run_bench(
+            Scale.SMOKE, backends=["serial"], artifacts=["sparse_scan"]
+        )
+        assert [r.backend for r in records] == ["serial"]
+
+    def test_empty_sparse_modes_rejected(self):
+        from repro.bench import run_bench
+        from repro.experiments.common import Scale
+
+        with pytest.raises(ValueError, match="sparse_modes"):
+            run_bench(
+                Scale.SMOKE,
+                backends=["serial"],
+                artifacts=["sparse_scan"],
+                sparse_modes=(),
+            )
