@@ -12,7 +12,8 @@ Run:  python examples/input_saliency.py
 
 import numpy as np
 
-from repro.core import FeedforwardBPPSA, Trainer
+import repro
+from repro.core import Trainer
 from repro.data import SyntheticImages
 from repro.nn import CrossEntropyLoss, Sequential
 from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
@@ -32,7 +33,7 @@ ds = SyntheticImages(num_samples=128, shape=(1, 16, 16), num_classes=4, seed=1)
 # quick training so gradients mean something
 trainer = Trainer(
     model, SGD(model.parameters(), lr=0.02, momentum=0.9),
-    engine=FeedforwardBPPSA(model),
+    engine=repro.build_engine(model),
 )
 for epoch in range(2):
     trainer.fit(ds.batches(16, epoch_seed=epoch))
@@ -41,7 +42,7 @@ print(f"train accuracy after 2 epochs: {acc:.2f}")
 
 # --- input gradient: BPPSA vs taped autograd -----------------------------
 x, y = next(ds.batches(4))
-engine = FeedforwardBPPSA(model)
+engine = repro.build_engine(model)
 engine.compute_gradients(x, y, input_gradient=True)
 bppsa_grad = engine.last_input_gradient
 

@@ -14,7 +14,7 @@ Run:  python examples/pruned_vgg_retrain.py
 
 import numpy as np
 
-from repro.core import FeedforwardBPPSA
+import repro
 from repro.data import SyntheticImages
 from repro.jacobian import conv2d_tjac_pruned
 from repro.nn import Sequential, VGG11
@@ -36,8 +36,9 @@ print(
 )
 
 # --- retrain with BPPSA ----------------------------------------------------
-full = Sequential(*(list(model.features) + list(model.classifier)))
-engine = FeedforwardBPPSA(full, algorithm="blelloch")
+# build_engine flattens features+classifier models (VGG-11) itself
+engine = repro.build_engine(model, "blelloch")
+full = engine.model
 opt = SGD(full.parameters(), lr=1e-2, momentum=0.9)
 data = SyntheticImages(num_samples=128, seed=1)
 

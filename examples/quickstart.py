@@ -6,12 +6,17 @@ BPPSA with the linear scan (serial, literally Eq. 3), and BPPSA with
 the modified Blelloch scan — and shows all three agree to floating
 point, then takes a few optimizer steps driven by the Blelloch engine.
 
+Engines are constructed through the declarative facade: one
+``repro.build_engine(model, spec)`` call, where the spec string names
+the whole scan surface (algorithm / executor backend / sparse
+dispatch — see ``repro.config``).
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import FeedforwardBPPSA
+import repro
 from repro.nn import CrossEntropyLoss, make_mlp
 from repro.optim import SGD
 from repro.tensor import Tensor
@@ -33,7 +38,7 @@ print(f"baseline BP          loss={float(loss.data):.4f}")
 
 # --- 2. BPPSA, serial linear scan (identical order to BP) ---------------
 for algorithm in ("linear", "blelloch"):
-    engine = FeedforwardBPPSA(model, algorithm=algorithm)
+    engine = repro.build_engine(model, algorithm)
     grads = engine.compute_gradients(x, y)
     worst = max(
         np.abs(grads[id(p)].reshape(p.data.shape) - baseline[name]).max()
@@ -47,7 +52,7 @@ for algorithm in ("linear", "blelloch"):
     )
 
 # --- 3. train with the Blelloch engine -----------------------------------
-engine = FeedforwardBPPSA(model, algorithm="blelloch")
+engine = repro.build_engine(model, "blelloch")
 opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
 print("\ntraining with BPPSA gradients:")
 for step in range(10):

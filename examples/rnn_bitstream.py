@@ -15,7 +15,8 @@ import time
 
 import numpy as np
 
-from repro.core import RNNBPPSA, Trainer
+import repro
+from repro.core import Trainer
 from repro.data import BitstreamDataset
 from repro.nn import RNNClassifier
 from repro.optim import Adam
@@ -26,7 +27,7 @@ from repro.pram.rnn_timing import simulate_rnn_iteration
 def train(use_bppsa: bool, seq_len: int, iters: int, batch: int, seed: int):
     clf = RNNClassifier(1, 20, 10, rng=np.random.default_rng(seed))
     opt = Adam(clf.parameters(), lr=3e-5)
-    engine = RNNBPPSA(clf, algorithm="blelloch") if use_bppsa else None
+    engine = repro.build_engine(clf, "blelloch") if use_bppsa else None
     trainer = Trainer(clf, opt, engine=engine)
     ds = BitstreamDataset(seq_len=seq_len, num_samples=2048, seed=seed)
     t0 = time.perf_counter()

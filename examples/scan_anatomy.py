@@ -4,9 +4,11 @@
 Walks through the scan on a synthetic chain of transposed Jacobians,
 printing every ⊙ application by phase and level, comparing step counts
 against the serial baseline, demonstrating why the down-sweep must
-reverse operand order for the non-commutative ⊙, and re-running the
+reverse operand order for the non-commutative ⊙, re-running the
 scan on every registered execution backend (``repro.backend``) to show
-the results are bitwise-identical.
+the results are bitwise-identical, and ending with the declarative
+configuration plane (``repro.config``): spec-string round-tripping and
+``repro.configure`` scoped overrides.
 
 Run:  python examples/scan_anatomy.py
 """
@@ -76,3 +78,21 @@ expected = ["".join(reversed(words[:k])) for k in range(len(words))]
 assert result == expected, (result, expected)
 print("\nnon-commutative string check:", " ".join(repr(s) for s in result))
 print("(each output is the reversed concatenation of the prefix — ⊙ order held)")
+
+# --- the configuration plane ----------------------------------------------
+# Every knob above is one declarative value: a ScanConfig, buildable
+# from a spec string that round-trips losslessly, and scopable via
+# repro.configure() instead of mutating environment variables.
+import repro
+
+cfg = repro.ScanConfig.from_spec("blelloch/thread:2/sparse=auto:0.4")
+assert repro.ScanConfig.from_spec(cfg.spec()) == cfg
+print(f"\nScanConfig spec round-trip: {cfg.spec()!r}")
+print(f"resolved: {cfg.resolve().spec()!r}")
+
+with repro.configure(executor="thread:2"):
+    # executor=None call sites now resolve to the scoped override —
+    # same schedule, same per-op order, still bitwise-identical.
+    scoped = blelloch_scan(items, ScanContext().op)
+assert all(np.array_equal(scoped[p].data, out[p].data) for p in range(1, N + 1))
+print("configure(executor='thread:2') scoped scan: bitwise-identical = True")

@@ -12,15 +12,25 @@ Jacobians to keep each step cheap.
 Quick start::
 
     import numpy as np
+    import repro
     from repro.nn import RNNClassifier
-    from repro.core import RNNBPPSA
     from repro.optim import Adam
 
-    clf = RNNBPPSA(RNNClassifier(1, 20, 10,
-                   rng=np.random.default_rng(0)), algorithm="blelloch")
-    grads = clf.compute_gradients(x, y)     # exact BP gradients, via scan
-    clf.apply_gradients(grads)
-    Adam(clf.clf.parameters(), lr=3e-5).step()
+    clf = RNNClassifier(1, 20, 10, rng=np.random.default_rng(0))
+    engine = repro.build_engine(clf)        # blelloch scan, ambient config
+    grads = engine.compute_gradients(x, y)  # exact BP gradients, via scan
+    engine.apply_gradients(grads)
+    Adam(clf.parameters(), lr=3e-5).step()
+
+Every scan knob — algorithm, truncation depth, executor backend,
+dense-vs-sparse dispatch — is one declarative value
+(:class:`repro.ScanConfig`), buildable from a spec string and scopable
+without touching process state::
+
+    engine = repro.build_engine(model, "truncated:3/thread:8/sparse=auto:0.4")
+
+    with repro.configure(executor="process:4", sparse="off"):
+        engine = repro.build_engine(model)  # scoped override, no env vars
 
 Package map (see DESIGN.md for the full inventory):
 
@@ -32,6 +42,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.jacobian``        analytical transposed-Jacobian generators
 ``repro.scan``            the ⊙ operator; Blelloch / linear / truncated
 ``repro.backend``         pluggable scan executors: serial/thread/process
+``repro.config``          declarative ScanConfig + build_engine facade
 ``repro.core``            BPPSA engines and trainers
 ``repro.pram``            PRAM/GPU simulator and device catalog
 ``repro.pipeline``        GPipe / PipeDream / naïve baselines
@@ -42,7 +53,7 @@ Package map (see DESIGN.md for the full inventory):
 ========================  =============================================
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "tensor",
@@ -52,6 +63,7 @@ __all__ = [
     "jacobian",
     "scan",
     "backend",
+    "config",
     "core",
     "pram",
     "pipeline",
@@ -59,4 +71,33 @@ __all__ = [
     "pruning",
     "analysis",
     "experiments",
+    # configuration-plane facade (lazily bound, see __getattr__)
+    "ScanConfig",
+    "build_engine",
+    "configure",
+    "adopt_config",
+    "current_config",
 ]
+
+#: Facade names re-exported from :mod:`repro.config`.  Bound lazily
+#: (PEP 562) so ``import repro`` stays free of NumPy/engine imports
+#: until the configuration plane is actually touched.
+_CONFIG_EXPORTS = (
+    "ScanConfig",
+    "build_engine",
+    "configure",
+    "adopt_config",
+    "current_config",
+)
+
+
+def __getattr__(name):
+    if name in _CONFIG_EXPORTS:
+        from repro import config as _config
+
+        return getattr(_config, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_CONFIG_EXPORTS))

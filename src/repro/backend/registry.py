@@ -110,14 +110,25 @@ def get_executor(
 
 
 def default_executor() -> ScanExecutor:
-    """The process-wide default executor.
+    """The ambient default executor for ``executor=None`` call sites.
 
-    Built from ``$REPRO_SCAN_BACKEND`` (default ``"serial"``) on first
-    use and cached so pooled backends are created once, not per scan
-    call.  If the variable changes, the old default is closed and a new
-    one built.
+    A surrounding ``repro.configure()`` block that set ``executor``
+    supplies its own *scoped* default pool (owned and closed by the
+    block — see :func:`repro.config.context.scoped_default_executor`),
+    so entering or leaving a block never touches the process-wide
+    default another thread may be using.  Otherwise the spec comes
+    from ``$REPRO_SCAN_BACKEND`` (default ``"serial"``), built on
+    first use and cached so pooled backends are created once, not per
+    scan call; if the variable changes, the old default is closed and
+    a new one built.
     """
     global _default
+    # Lazy import: repro.config imports this module at load time.
+    from repro.config.context import scoped_default_executor
+
+    scoped = scoped_default_executor()
+    if scoped is not None:
+        return scoped
     spec = os.environ.get(ENV_VAR, "serial")
     if _default is None or _default[0] != spec:
         old, _default = _default, None

@@ -15,6 +15,8 @@ from typing import Any, Dict
 import numpy as np
 
 from repro.backend import ENV_VAR
+from repro.config import current_config
+from repro.scan import SPARSE_ENV_VAR
 
 #: Fingerprint keys whose disagreement makes timings incomparable.
 COMPARABILITY_KEYS = ("python", "numpy", "machine", "cpu_count")
@@ -25,11 +27,22 @@ def environment_fingerprint() -> Dict[str, Any]:
 
     Captures the interpreter (version + implementation), the NumPy
     version (BLAS dispatch changes between releases), the platform and
-    CPU count, and the ``REPRO_SCAN_BACKEND`` environment variable
-    (the process-wide default backend for every ``executor=None`` call
-    site) — everything needed to judge whether two timing records are
-    comparable.
+    CPU count, the raw ``REPRO_SCAN_BACKEND`` / ``REPRO_SCAN_SPARSE``
+    environment variables, and — under ``scan_config`` — the fully
+    resolved ambient :class:`~repro.config.ScanConfig` (what an engine
+    built with no explicit arguments would adopt, overlays and env
+    vars already folded in) — everything needed to judge whether two
+    timing records are comparable and exactly which configuration
+    plane produced them.
     """
+    try:
+        scan_config = current_config().to_dict()
+    except (ValueError, TypeError) as exc:
+        # A malformed REPRO_SCAN_* value must not take down record
+        # writing for artifacts that run no scan; the raw env strings
+        # below still identify the culprit, and scan-dependent
+        # artifacts fail at their own resolution point as before.
+        scan_config = {"error": str(exc)}
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
@@ -38,6 +51,8 @@ def environment_fingerprint() -> Dict[str, Any]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 1,
         "scan_backend_env": os.environ.get(ENV_VAR),
+        "scan_sparse_env": os.environ.get(SPARSE_ENV_VAR),
+        "scan_config": scan_config,
     }
 
 

@@ -112,6 +112,13 @@ class BenchRecord:
         Length of the artifact's structured ``rows()`` output.
     metrics
         Optional artifact-specific scalar summaries.
+    config
+        The serialized, fully resolved
+        :class:`~repro.config.ScanConfig` the measurement ran under
+        (:meth:`ScanConfig.to_dict` output) — every record states
+        exactly which configuration produced it.  Optional for
+        backward compatibility: records written before the
+        configuration plane existed read back with ``{}``.
     """
 
     artifact: str
@@ -121,6 +128,7 @@ class BenchRecord:
     environment: Dict[str, Any]
     num_rows: int
     metrics: Dict[str, Any] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -139,6 +147,7 @@ class BenchRecord:
             "environment": dict(self.environment),
             "num_rows": self.num_rows,
             "metrics": dict(self.metrics),
+            "config": dict(self.config),
         }
         validate_record(d)
         return d
@@ -155,6 +164,7 @@ class BenchRecord:
             environment=dict(d["environment"]),
             num_rows=int(d["num_rows"]),
             metrics=dict(d["metrics"]),
+            config=dict(d.get("config", {})),
             schema_version=int(d["schema_version"]),
         )
 
@@ -229,6 +239,10 @@ def validate_record(d: Mapping[str, Any]) -> None:
         )
     if d["num_rows"] < 0:
         raise SchemaError("record: num_rows must be >= 0")
+    # Optional (absent in pre-configuration-plane records): the
+    # serialized ScanConfig of the measurement.
+    if "config" in d and not isinstance(d["config"], dict):
+        raise SchemaError("record: field 'config' must be dict")
     _validate_timing(d["timing"])
     for key in _REQUIRED_ENV_KEYS:
         if key not in d["environment"]:

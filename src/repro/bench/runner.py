@@ -31,6 +31,7 @@ import numpy as np
 from repro.bench.env import environment_fingerprint
 from repro.bench.record import BenchRecord
 from repro.bench.timing import measure
+from repro.config import ScanConfig
 from repro.experiments import (
     ablation_truncation,
     eq6_complexity,
@@ -132,22 +133,32 @@ class BenchArtifact:
     sparse_sensitive: bool = False
 
 
+def measurement_config(spec: Optional[str], sparse: Optional[str]) -> ScanConfig:
+    """The declarative config of one (backend, sparse-mode) measurement.
+
+    Unset axes stay unset, so resolution falls through to the ambient
+    defaults — :meth:`ScanConfig.resolve` of this value is exactly
+    what the artifact's engines adopt, and its serialized form is what
+    the measurement's :class:`~repro.bench.record.BenchRecord` embeds.
+    """
+    return ScanConfig(executor=spec, sparse=sparse)
+
+
 def _experiment(module):
     def rows_fn(
         scale: Scale, spec: Optional[str], sparse: Optional[str]
     ) -> List[Dict[str, Any]]:
-        return module.result_rows(module.run(scale))
+        return module.result_rows(
+            module.run(scale, config=measurement_config(spec, sparse))
+        )
 
     return rows_fn
 
 
-def _engine_experiment(module):
-    def rows_fn(
-        scale: Scale, spec: Optional[str], sparse: Optional[str]
-    ) -> List[Dict[str, Any]]:
-        return module.result_rows(module.run(scale, executor=spec, sparse=sparse))
-
-    return rows_fn
+# Kept as an alias: every experiment entry point — engine-driven or
+# not — now takes the same declarative ``config=``, so the runner no
+# longer needs per-shape adapters.
+_engine_experiment = _experiment
 
 
 def _parallel_backends_rows(
@@ -157,17 +168,18 @@ def _parallel_backends_rows(
     from repro.backend import get_executor
     from repro.scan import ScanContext, blelloch_scan
 
+    cfg = measurement_config(spec, sparse).resolve()
     p = SCAN_PARAMS[scale]
     t, b, h = p["seq_len"], p["batch"], p["hidden"]
     items = make_scan_items(t, b, h)
-    with get_executor(spec or "serial") as ex:
+    with get_executor(cfg.executor) as ex:
         out = blelloch_scan(items, ScanContext().op, executor=ex)
     return [
         {
             "seq_len": t,
             "batch": b,
             "hidden": h,
-            "backend": spec or "serial",
+            "backend": cfg.executor,
             "positions": len(out),
         }
     ]
@@ -181,21 +193,22 @@ def _sparse_scan_rows(
     from repro.backend import get_executor
     from repro.scan import ScanContext, blelloch_scan
 
-    mode = sparse or "auto"
+    cfg = measurement_config(spec, sparse).resolve()
+    policy = cfg.sparse_policy()
     p = SPARSE_SCAN_PARAMS[scale]
     items = make_sparse_scan_items(
-        p["stages"], p["batch"], p["channels"], p["hw"], sparse=mode
+        p["stages"], p["batch"], p["channels"], p["hw"], sparse=policy
     )
-    ctx = ScanContext(sparse=mode)
-    with get_executor(spec or "serial") as ex:
+    ctx = ScanContext(sparse=policy)
+    with get_executor(cfg.executor) as ex:
         out = blelloch_scan(items, ctx.op, executor=ex)
     return [
         {
             "stages": p["stages"],
             "batch": p["batch"],
             "dim": p["channels"] * p["hw"][0] * p["hw"][1],
-            "backend": spec or "serial",
-            "sparse": mode,
+            "backend": cfg.executor,
+            "sparse": cfg.sparse,
             "total_flops": int(ctx.total_flops),
             "positions": len(out),
         }
@@ -325,6 +338,15 @@ def run_bench(
                     warmup=warmup,
                     repeats=repeats,
                 )
+                try:
+                    # Every record states exactly which (resolved)
+                    # configuration produced it.
+                    cfg_dict = measurement_config(spec, mode).resolve().to_dict()
+                except (ValueError, TypeError) as exc:
+                    # Malformed ambient REPRO_SCAN_* values must not
+                    # abort recording an artifact that just ran fine
+                    # (analytical artifacts never resolve the config).
+                    cfg_dict = {"error": str(exc)}
                 record = BenchRecord(
                     artifact=artifact.name,
                     scale=scale.value,
@@ -332,6 +354,7 @@ def run_bench(
                     timing=stats,
                     environment=env,
                     num_rows=len(rows),
+                    config=cfg_dict,
                 )
                 records.append(record)
                 if progress is not None:

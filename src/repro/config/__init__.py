@@ -1,0 +1,57 @@
+"""repro.config — the declarative configuration plane.
+
+One frozen :class:`ScanConfig` value captures the entire tuning
+surface of the ⊙ scan (algorithm, truncation depth, executor backend,
+dense-vs-sparse dispatch, densify threshold, linear-Jacobian tolerance,
+pattern-cache policy), with:
+
+* a **spec grammar** that round-trips —
+  ``ScanConfig.from_spec("blelloch/thread:8/sparse=auto:0.4")`` ↔
+  ``cfg.spec()``;
+* **JSON (de)serialization** (``to_dict`` / ``from_dict``) embedded in
+  every ``BENCH_*.json`` record and the bench environment fingerprint;
+* a single **resolution point** (:meth:`ScanConfig.resolve`) with the
+  precedence ladder *explicit value > configure() override >
+  environment variable > engine default > global default*;
+* scoped overrides (:func:`configure`) replacing process-global env
+  mutation, and the engine facade (:func:`build_engine`,
+  :func:`adopt_config`) replacing scattered per-class constructor
+  knowledge.
+
+See DESIGN.md §"The configuration plane" for the full picture and
+MIGRATION.md for the old-kwarg mapping.
+"""
+
+from repro.config.scan_config import (
+    ALGORITHMS,
+    PATTERN_CACHE_POLICIES,
+    ScanConfig,
+    shared_pattern_cache,
+)
+from repro.config.context import (
+    active_overlays,
+    configure,
+    current_config,
+    overlay_field,
+)
+from repro.config.facade import (
+    UNSET,
+    adopt_config,
+    build_engine,
+    merge_engine_kwargs,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "PATTERN_CACHE_POLICIES",
+    "ScanConfig",
+    "shared_pattern_cache",
+    "active_overlays",
+    "configure",
+    "current_config",
+    "overlay_field",
+    "adopt_config",
+    "build_engine",
+    "merge_engine_kwargs",
+    "UNSET",
+]

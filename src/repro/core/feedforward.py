@@ -17,11 +17,14 @@ floating-point reassociation (paper Section 3.5).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.backend import ExecutorOwner, ScanExecutor
+from repro.config import UNSET as _UNSET
+from repro.config import ScanConfig, merge_engine_kwargs
+from repro.config.facade import construction_executor as _construction_executor
 from repro.jacobian.dispatch import BatchedJacobian, layer_tjac_batched
 from repro.nn import layers as L
 from repro.nn.loss import softmax_xent_grad
@@ -40,8 +43,6 @@ from repro.scan import (
 from repro.sparse import PatternCache
 from repro.tensor import Tensor, no_grad
 
-_ALGORITHMS = ("blelloch", "linear", "hillis_steele", "truncated")
-
 
 class FeedforwardBPPSA(ExecutorOwner):
     """Gradient engine running BP as a parallel scan over a Sequential.
@@ -52,56 +53,92 @@ class FeedforwardBPPSA(ExecutorOwner):
         A :class:`~repro.nn.module.Sequential` of supported layers
         (Linear / Conv2d / ReLU / Tanh / Sigmoid / MaxPool2d /
         AvgPool2d / Flatten).
+    config:
+        A :class:`~repro.config.ScanConfig` (or spec string / mapping)
+        naming the whole scan surface declaratively — the preferred
+        construction path (see :func:`repro.build_engine`).  Unset
+        fields resolve through ``repro.configure()`` overrides,
+        environment variables, and defaults; the fully resolved config
+        is kept on ``self.config``.  The config is pure *declarative*
+        data: caller-provided ``executor``/``pattern_cache``
+        *instances* take precedence over it but are not representable
+        in it, so ``self.config`` then records the ambient spec rather
+        than the instance actually in use (``self.executor`` /
+        ``self.context.cache`` are authoritative).
     algorithm:
         ``"blelloch"`` (default), ``"linear"`` (the serial baseline,
         numerically identical to BP), ``"hillis_steele"``, or
-        ``"truncated"`` (Section 5.2; set ``up_levels``).
+        ``"truncated"`` (Section 5.2; set ``up_levels``).  Overrides
+        the ``config`` field when given.
     sparse_linear_tol:
         When set, linear-layer Jacobians are stored in CSR dropping
         entries ≤ tol — the pruned-retraining configuration.
     densify_threshold:
-        Forwarded to :class:`~repro.scan.elements.ScanContext`
-        (legacy form of the dispatch policy; ignored when ``sparse``
-        is given).
+        **Deprecated** legacy form of the dispatch policy (it overlaps
+        the sparse-policy threshold): emits a ``DeprecationWarning``
+        and maps onto ``ScanConfig.densify_threshold`` (ignored when
+        ``sparse`` is given, matching the historical behaviour).  Use
+        ``sparse="auto:<t>"`` or ``config`` instead.
     sparse:
         Dense-vs-sparse dispatch for the scan: a
         :class:`~repro.scan.SparsePolicy`, a spec string (``"auto"``,
         ``"on"``, ``"off"``, ``"auto:0.4"``), or ``None`` for the
-        process-wide ``REPRO_SCAN_SPARSE`` default.  For any fixed
-        policy, gradients are bitwise-identical on every backend;
-        sparse- and dense-mode gradients agree up to floating-point
-        reassociation (Section 3.5).
+        ambient default (``repro.configure()`` override, else
+        ``REPRO_SCAN_SPARSE``).  For any fixed policy, gradients are
+        bitwise-identical on every backend; sparse- and dense-mode
+        gradients agree up to floating-point reassociation
+        (Section 3.5).
     executor:
         Scan-execution backend: a spec string (``"serial"``,
         ``"thread:8"``, ``"process:4"`` — see :mod:`repro.backend`), an
-        executor instance, or ``None`` for the process-wide
-        ``REPRO_SCAN_BACKEND`` default.  Every backend yields
-        bitwise-identical gradients; call :meth:`close` (or use the
-        engine as a context manager) to release pooled workers.
+        executor instance, or ``None`` for the ambient default
+        (``repro.configure()`` override, else ``REPRO_SCAN_BACKEND``).
+        An explicit spec (kwarg or config field) builds a pool the
+        engine owns; the ambient cases (``configure()`` override,
+        environment variable, global default) keep following the
+        shared ambient pool at scan time — the block's scoped pool
+        inside ``configure(executor=…)``, the process-wide default
+        otherwise — so engines never multiply ambient pools.  Every
+        backend yields bitwise-identical gradients; call :meth:`close`
+        (or use the engine as a context manager) to release pooled
+        workers.
     """
 
     def __init__(
         self,
         model: Sequential,
-        algorithm: str = "blelloch",
-        up_levels: int = 2,
+        algorithm: Optional[str] = None,
+        up_levels: Optional[int] = None,
         sparse_linear_tol: Optional[float] = None,
-        densify_threshold: Optional[float] = 0.25,
+        densify_threshold: Union[float, None, object] = _UNSET,
         pattern_cache: Optional[PatternCache] = None,
         executor: Union[str, ScanExecutor, None] = None,
         sparse: Union[str, SparsePolicy, None] = None,
+        config: Union[ScanConfig, str, Mapping, None] = None,
     ) -> None:
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
-        self.model = model
-        self.algorithm = algorithm
-        self.up_levels = up_levels
-        self.sparse_linear_tol = sparse_linear_tol
-        self.set_executor(executor)
-        self.context = ScanContext(
-            pattern_cache=pattern_cache,
+        merged = merge_engine_kwargs(
+            config,
+            algorithm=algorithm,
+            up_levels=up_levels,
+            sparse_linear_tol=sparse_linear_tol,
             densify_threshold=densify_threshold,
+            executor=executor,
             sparse=sparse,
+        )
+        cfg = merged.resolve()
+        self.config = cfg
+        self.model = model
+        self.algorithm = cfg.algorithm
+        self.up_levels = cfg.up_levels
+        self.sparse_linear_tol = cfg.sparse_linear_tol
+        self.set_executor(_construction_executor(merged, cfg, executor))
+        self.context = ScanContext(
+            pattern_cache=(
+                pattern_cache
+                if pattern_cache is not None
+                else cfg.make_pattern_cache()
+            ),
+            sparse=cfg.sparse_policy(),
         )
         self._activations: List[np.ndarray] = []
 

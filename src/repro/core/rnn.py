@@ -14,11 +14,13 @@ Eq. 2 with no dependency along t.
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.backend import ExecutorOwner, ScanExecutor
+from repro.config import ScanConfig, merge_engine_kwargs
+from repro.config.facade import construction_executor as _construction_executor
 from repro.nn.loss import softmax_xent_grad
 from repro.nn.rnn import RNNClassifier
 from repro.scan import (
@@ -32,42 +34,61 @@ from repro.scan import (
     truncated_blelloch_scan,
 )
 
-_ALGORITHMS = ("blelloch", "linear", "hillis_steele", "truncated")
-
 
 class RNNBPPSA(ExecutorOwner):
     """Scan-based gradient engine for :class:`~repro.nn.rnn.RNNClassifier`.
 
+    ``config`` names the whole scan surface declaratively
+    (:class:`~repro.config.ScanConfig`, spec string, or mapping — see
+    :func:`repro.build_engine`); the legacy kwargs below override its
+    fields when given, and the fully resolved config is kept on
+    ``self.config``.  A caller-provided executor *instance* takes
+    precedence over the config but is not representable in it
+    (``self.executor`` is authoritative in that case).
+
     ``executor`` selects the scan-execution backend: a spec string
     (``"serial"``, ``"thread:8"``, ``"process:4"`` — see
     :mod:`repro.backend`), an executor instance, or ``None`` to follow
-    the process-wide ``REPRO_SCAN_BACKEND`` default.  Executors created
-    here from a spec string are owned by the engine; call
-    :meth:`close` (or use the engine as a context manager) to release
-    their workers.  Every backend yields bitwise-identical gradients.
+    the ambient default (a ``repro.configure()`` override, else
+    ``REPRO_SCAN_BACKEND``).  Executors created here from a spec
+    string are owned by the engine; call :meth:`close` (or use the
+    engine as a context manager) to release their workers.  Every
+    backend yields bitwise-identical gradients.
 
     ``sparse`` selects the scan's dense-vs-sparse dispatch policy (see
     :class:`~repro.scan.SparsePolicy`); the vanilla RNN's hidden
     Jacobians are fully dense, so the policy only matters when callers
     feed CSR elements (e.g. pruned recurrent weights) — it is plumbed
-    through for API uniformity with :class:`FeedforwardBPPSA`.
+    through for API uniformity with :class:`FeedforwardBPPSA`.  When
+    unset, products are never densified (the RNN's historical
+    default, ``densify_threshold=1.0``).
     """
 
     def __init__(
         self,
         classifier: RNNClassifier,
-        algorithm: str = "blelloch",
-        up_levels: int = 2,
+        algorithm: Optional[str] = None,
+        up_levels: Optional[int] = None,
         executor: Union[str, ScanExecutor, None] = None,
         sparse: Union[str, SparsePolicy, None] = None,
+        config: Union[ScanConfig, str, Mapping, None] = None,
     ) -> None:
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(f"algorithm must be one of {_ALGORITHMS}")
+        merged = merge_engine_kwargs(
+            config,
+            algorithm=algorithm,
+            up_levels=up_levels,
+            executor=executor,
+            sparse=sparse,
+        )
+        cfg = merged.resolve(defaults={"densify_threshold": 1.0})
+        self.config = cfg
         self.clf = classifier
-        self.algorithm = algorithm
-        self.up_levels = up_levels
-        self.set_executor(executor)
-        self.context = ScanContext(densify_threshold=None, sparse=sparse)
+        self.algorithm = cfg.algorithm
+        self.up_levels = cfg.up_levels
+        self.set_executor(_construction_executor(merged, cfg, executor))
+        self.context = ScanContext(
+            pattern_cache=cfg.make_pattern_cache(), sparse=cfg.sparse_policy()
+        )
 
     @property
     def sparse_policy(self) -> SparsePolicy:

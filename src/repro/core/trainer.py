@@ -15,6 +15,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.config import adopt_config
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.optim import Optimizer
@@ -76,6 +77,15 @@ class Trainer:
         scan — a :class:`~repro.scan.SparsePolicy` or a spec string
         (``"auto"``, ``"on"``, ``"off"``, ``"auto:0.4"``).  Like
         ``executor``, it requires a BPPSA ``engine``.
+    config:
+        Optional :class:`~repro.config.ScanConfig` (or spec string /
+        mapping) whose engine-affecting fields are adopted by
+        ``engine`` — the declarative form of ``executor=``/``sparse=``
+        (which override its corresponding fields when both are given).
+        All three funnel through :func:`repro.config.adopt_config`,
+        the single validation point: any of them without a BPPSA
+        ``engine`` raises ``ValueError``; an engine lacking the needed
+        protocol raises ``TypeError``.
     """
 
     def __init__(
@@ -86,37 +96,12 @@ class Trainer:
         forward_fn: Optional[Callable[[Tensor], Tensor]] = None,
         executor=None,
         sparse=None,
+        config=None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.engine = engine
-        if executor is not None:
-            if engine is None:
-                raise ValueError(
-                    "executor= selects the scan backend of a BPPSA engine; "
-                    "pass engine= as well (baseline BP has no scan)"
-                )
-            if not hasattr(engine, "set_executor"):
-                # No silent fallback: assigning a fresh pool to an
-                # engine without the ownership protocol would leak it.
-                raise TypeError(
-                    "engine does not implement set_executor (the "
-                    "repro.backend.ExecutorOwner protocol); construct "
-                    "the engine with its executor instead"
-                )
-            engine.set_executor(executor)  # disposes a previously owned pool
-        if sparse is not None:
-            if engine is None:
-                raise ValueError(
-                    "sparse= selects the scan dispatch policy of a BPPSA "
-                    "engine; pass engine= as well (baseline BP has no scan)"
-                )
-            if not hasattr(engine, "set_sparse_policy"):
-                raise TypeError(
-                    "engine does not implement set_sparse_policy; construct "
-                    "the engine with its sparse policy instead"
-                )
-            engine.set_sparse_policy(sparse)
+        adopt_config(engine, config, executor=executor, sparse=sparse)
         self.forward_fn = forward_fn if forward_fn is not None else model
         self.loss_fn = CrossEntropyLoss()
 

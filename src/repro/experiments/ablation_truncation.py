@@ -37,8 +37,14 @@ PARAMS = {
 }
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
-    """Sweep truncation depths over the pruned-VGG-11 scan analysis."""
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, config=None) -> Dict:
+    """Sweep truncation depths over the pruned-VGG-11 scan analysis.
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); the sweep is a *static*
+    analysis over every depth, so the config's single ``up_levels``
+    has nothing to pin here.
+    """
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
     model = VGG11(rng=rng, width_multiplier=p["width"])

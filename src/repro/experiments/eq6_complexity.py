@@ -45,8 +45,14 @@ def _hillis_steele_work(n: int) -> int:
     return count
 
 
-def run(scale: Scale = Scale.SMOKE) -> Dict:
-    """Count real steps/work for both scans at every size in ``scale``."""
+def run(scale: Scale = Scale.SMOKE, config=None) -> Dict:
+    """Count real steps/work for both scans at every size in ``scale``.
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); the step counts here come
+    from symbolic scans whose operator is free, so the config has
+    nothing to change.
+    """
     p = PARAMS[scale]
     rows = []
     for n in p["sizes"]:

@@ -31,8 +31,13 @@ PARAMS = {
 }
 
 
-def run(scale: Scale = Scale.SMOKE) -> Dict:
-    """Sweep T and B through the simulated devices' timing model."""
+def run(scale: Scale = Scale.SMOKE, config=None) -> Dict:
+    """Sweep T and B through the simulated devices' timing model.
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); this artifact runs no ⊙
+    scan, so it has nothing to configure.
+    """
     p = PARAMS[scale]
     devices = list(DEVICE_CATALOG.values())
     t_rows: List[Dict] = []

@@ -41,11 +41,11 @@ from repro.jacobian import conv2d_tjac_pruned, maxpool_tjac_batched, relu_tjac_b
 from repro.nn import VGG11
 from repro.nn import layers as L
 from repro.pruning import magnitude_prune
+from repro.config import ScanConfig
 from repro.scan import (
     GradientVector,
     ScanContext,
     SparseJacobian,
-    SparsePolicy,
     truncated_blelloch_scan,
 )
 from repro.tensor import Tensor, no_grad
@@ -108,21 +108,25 @@ def _stage_patterns(model: VGG11, input_hw, rng) -> Dict:
     }
 
 
-def _measured_steps(stages: Dict, rng, sparse) -> Dict:
+def _measured_steps(stages: Dict, rng, cfg) -> Dict:
     """Execute the truncated scan on the sparse path and cost its trace.
 
-    Returns the per-⊙ :class:`StepCost` list (FLOPs as actually
-    executed — SpGEMM numeric-phase counts while products stay CSR,
-    dense counts after the dispatch densifies) plus the context's
-    measured totals.
+    ``cfg`` is the resolved :class:`~repro.config.ScanConfig`: its
+    sparse policy decides CSR-vs-dense dispatch, its executor runs the
+    scan (gradient-identical on every backend).  Returns the per-⊙
+    :class:`StepCost` list (FLOPs as actually executed — SpGEMM
+    numeric-phase counts while products stay CSR, dense counts after
+    the dispatch densifies) plus the context's measured totals.
     """
-    policy = SparsePolicy.resolve(sparse)
+    policy = cfg.sparse_policy()
     ctx = ScanContext(sparse=policy)
     items: List = [GradientVector(rng.standard_normal((1, stages["grad_dim"])))]
     # Eq. 5 ordering: last stage's Jacobian first.
     for pattern in reversed(stages["patterns"]):
         items.append(policy.element(SparseJacobian(pattern)))
-    truncated_blelloch_scan(items, ctx.op, up_levels=UP_LEVELS, executor="serial")
+    truncated_blelloch_scan(
+        items, ctx.op, up_levels=UP_LEVELS, executor=cfg.executor
+    )
 
     steps = [
         StepCost(
@@ -148,12 +152,15 @@ def _measured_steps(stages: Dict, rng, sparse) -> Dict:
     }
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0, sparse=None) -> Dict:
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, sparse=None, config=None) -> Dict:
     """Measured per-step FLOP analysis of the pruned VGG-11 scan.
 
-    ``sparse`` selects the dispatch policy for the measured scan
-    (``None`` → ``REPRO_SCAN_SPARSE`` or ``auto``); the static model
-    is computed alongside as a cross-check.
+    ``config`` (a :class:`~repro.config.ScanConfig` or spec string)
+    names the measured scan's dispatch policy and executor; ``sparse``
+    is the legacy per-axis override (``None`` → the ambient
+    ``repro.configure()`` / ``REPRO_SCAN_SPARSE`` default).  The
+    truncation depth stays the paper's (up-sweep through level 2); the
+    static model is computed alongside as a cross-check.
     """
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
@@ -161,7 +168,8 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0, sparse=None) -> Dict:
     magnitude_prune(model, p["prune"], scope="global")
     stages = _stage_patterns(model, p["input_hw"], rng)
 
-    measured = _measured_steps(stages, rng, sparse)
+    cfg = ScanConfig.coerce(config, sparse=sparse).resolve()
+    measured = _measured_steps(stages, rng, cfg)
     steps = measured["steps"]
 
     analyzer = StaticScanAnalyzer()
@@ -217,9 +225,9 @@ def result_rows(result: Dict) -> List[Dict]:
     return out
 
 
-def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+def rows(scale: Scale = Scale.SMOKE, config=None) -> List[Dict]:
     """Structured data step: every scan/baseline step as a dict."""
-    return result_rows(run(scale))
+    return result_rows(run(scale, config=config))
 
 
 def render_report(result: Dict) -> str:

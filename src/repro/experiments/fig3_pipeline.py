@@ -30,8 +30,13 @@ PARAMS = {
 }
 
 
-def run(scale: Scale = Scale.SMOKE) -> Dict:
-    """Sweep device counts; compare bubble/memory/staleness per strategy."""
+def run(scale: Scale = Scale.SMOKE, config=None) -> Dict:
+    """Sweep device counts; compare bubble/memory/staleness per strategy.
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); this artifact runs no ⊙
+    scan, so it has nothing to configure.
+    """
     p = PARAMS[scale]
     layers = p["num_layers"]
     rows = []

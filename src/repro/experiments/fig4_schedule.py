@@ -17,12 +17,13 @@ from repro.nn.models import vgg11_conv_shapes
 from repro.scan import build_blelloch_dag, build_linear_dag
 
 
-def run(scale: Scale = Scale.SMOKE, input_hw=(32, 32)) -> Dict:
+def run(scale: Scale = Scale.SMOKE, input_hw=(32, 32), config=None) -> Dict:
     """Enumerate the Blelloch schedule over VGG-11's conv stack.
 
-    ``scale`` is accepted for harness uniformity (the schedule is
-    scale-invariant); ``input_hw`` sets the image size the conv shapes
-    are annotated with.
+    ``scale`` and ``config`` are accepted for harness uniformity (the
+    schedule is scale-invariant and symbolic — no ⊙ scan executes);
+    ``input_hw`` sets the image size the conv shapes are annotated
+    with.
     """
     shapes = vgg11_conv_shapes(input_hw)
     n = len(shapes)  # 8 convolutions

@@ -32,8 +32,13 @@ def _raster(pattern, max_side: int = 64) -> str:
     return "\n".join("".join("#" if v else "." for v in row) for row in grid)
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
-    """Generate the three T-Jacobian patterns at ``scale``'s shapes."""
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, config=None) -> Dict:
+    """Generate the three T-Jacobian patterns at ``scale``'s shapes.
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); this artifact runs no ⊙
+    scan, so it has nothing to configure.
+    """
     p = PARAMS[scale]
     rng = np.random.default_rng(seed)
     ci, co, (h, w) = p["ci"], p["co"], p["hw"]

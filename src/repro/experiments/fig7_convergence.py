@@ -17,7 +17,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core import FeedforwardBPPSA, Trainer
+from repro.config import ScanConfig, build_engine
+from repro.core import Trainer
 from repro.data import SyntheticImages
 from repro.experiments.common import Scale, format_table, print_report, sparkline
 from repro.nn import LeNet5, Sequential
@@ -49,13 +50,19 @@ def _fresh_model(width: float, seed: int) -> Sequential:
 
 
 def _train(
-    use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None
+    use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None, config=None
 ) -> Dict:
     model = _fresh_model(p["width"], seed)
     opt = SGD(model.parameters(), lr=LR, momentum=MOMENTUM)
     engine = (
-        FeedforwardBPPSA(
-            model, algorithm="blelloch", executor=executor, sparse=sparse
+        # The paper's Blelloch scan is the default, but a config that
+        # names an algorithm wins — `run_all --config linear` really
+        # runs the linear scan here.
+        build_engine(
+            model,
+            ScanConfig.coerce(config).with_defaults(ScanConfig(algorithm="blelloch")),
+            executor=executor,
+            sparse=sparse,
         )
         if use_bppsa
         else None
@@ -83,16 +90,23 @@ def _train(
     return {"train_losses": losses, "test_loss": test_loss, "test_acc": test_acc}
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None, sparse=None) -> Dict:
-    """Reproduce the figure; ``executor`` picks the scan backend for
-    the BPPSA run (``"serial"``, ``"thread:N"``, ``"process:N"``) —
-    gradients, and hence the loss curve, are identical on every
-    backend.  ``sparse`` picks the dense-vs-sparse dispatch policy
-    (``"auto"``, ``"on"``, ``"off"`` — see
-    :class:`~repro.scan.SparsePolicy`)."""
+def run(
+    scale: Scale = Scale.SMOKE, seed: int = 0, executor=None, sparse=None, config=None
+) -> Dict:
+    """Reproduce the figure.  ``config`` — a
+    :class:`~repro.config.ScanConfig` or spec string — names the BPPSA
+    run's scan surface; the engine is built through
+    :func:`repro.build_engine`.  ``executor`` / ``sparse`` are the
+    legacy per-axis overrides (they beat the config's fields).
+    Gradients, and hence the loss curve, are identical on every
+    backend; the algorithm defaults to the paper's Blelloch scan but a
+    config naming one is honored."""
     p = PARAMS[scale]
     baseline = _train(use_bppsa=False, p=p, seed=seed)
-    bppsa = _train(use_bppsa=True, p=p, seed=seed, executor=executor, sparse=sparse)
+    bppsa = _train(
+        use_bppsa=True, p=p, seed=seed, executor=executor, sparse=sparse,
+        config=config,
+    )
     a = np.asarray(baseline["train_losses"])
     b = np.asarray(bppsa["train_losses"])
     return {
@@ -118,14 +132,13 @@ def result_rows(result: Dict) -> List[Dict]:
     ]
 
 
-def rows(scale: Scale = Scale.SMOKE, executor=None, sparse=None) -> List[Dict]:
+def rows(scale: Scale = Scale.SMOKE, executor=None, sparse=None, config=None):
     """Structured data step: per-engine convergence summary.
 
-    ``executor`` picks the scan backend for the BPPSA run (spec string,
-    instance, or ``None`` for the process default); ``sparse`` the
-    dense-vs-sparse dispatch policy.
+    ``config`` names the BPPSA run's scan surface declaratively;
+    ``executor`` / ``sparse`` are the legacy per-axis overrides.
     """
-    return result_rows(run(scale, executor=executor, sparse=sparse))
+    return result_rows(run(scale, executor=executor, sparse=sparse, config=config))
 
 
 def render_report(result: Dict) -> str:

@@ -19,8 +19,13 @@ PARAMS = {
 }
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
-    """Sample per-class bitstream examples at ``scale``'s count."""
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, config=None) -> Dict:
+    """Sample per-class bitstream examples at ``scale``'s count.
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); this artifact runs no ⊙
+    scan, so it has nothing to configure.
+    """
     p = PARAMS[scale]
     ds = BitstreamDataset(seq_len=p["seq_len"], num_samples=1000, seed=seed)
     examples = []

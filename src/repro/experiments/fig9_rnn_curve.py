@@ -17,7 +17,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core import RNNBPPSA, Trainer
+from repro.config import ScanConfig, build_engine
+from repro.core import Trainer
 from repro.data import BitstreamDataset
 from repro.experiments.common import Scale, format_table, print_report, sparkline
 from repro.nn import RNNClassifier
@@ -32,11 +33,19 @@ PARAMS = {
 LR = 3e-5
 
 
-def _train(use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None) -> Dict:
+def _train(
+    use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None, config=None
+) -> Dict:
     clf = RNNClassifier(1, p["hidden"], 10, rng=np.random.default_rng(seed))
     opt = Adam(clf.parameters(), lr=LR)
     engine = (
-        RNNBPPSA(clf, algorithm="blelloch", executor=executor, sparse=sparse)
+        # Blelloch by default; a config naming an algorithm wins.
+        build_engine(
+            clf,
+            ScanConfig.coerce(config).with_defaults(ScanConfig(algorithm="blelloch")),
+            executor=executor,
+            sparse=sparse,
+        )
         if use_bppsa
         else None
     )
@@ -56,17 +65,21 @@ def _train(use_bppsa: bool, p: Dict, seed: int, executor=None, sparse=None) -> D
     }
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0, executor=None, sparse=None) -> Dict:
-    """Reproduce the figure; ``executor`` picks the scan backend for
-    the BPPSA run (``"serial"``, ``"thread:N"``, ``"process:N"``) —
-    gradients, and hence the loss curve, are identical on every
-    backend.  ``sparse`` plumbs the scan's dispatch policy through for
-    API uniformity (the RNN's hidden Jacobians are dense, so it does
-    not change what is computed)."""
+def run(
+    scale: Scale = Scale.SMOKE, seed: int = 0, executor=None, sparse=None, config=None
+) -> Dict:
+    """Reproduce the figure.  ``config`` — a
+    :class:`~repro.config.ScanConfig` or spec string — names the BPPSA
+    run's scan surface; the engine is built through
+    :func:`repro.build_engine`.  ``executor`` / ``sparse`` are the
+    legacy per-axis overrides (they beat the config's fields).
+    Gradients, and hence the loss curve, are identical on every
+    backend; ``sparse`` is plumbed through for API uniformity (the
+    RNN's hidden Jacobians are dense)."""
     p = PARAMS[scale]
     timing = simulate_rnn_iteration(p["seq_len"], p["batch"], p["hidden"], RTX_2070)
     baseline = _train(False, p, seed)
-    bppsa = _train(True, p, seed, executor=executor, sparse=sparse)
+    bppsa = _train(True, p, seed, executor=executor, sparse=sparse, config=config)
 
     iters = np.arange(1, p["iterations"] + 1)
     base_iter_s = timing.forward_seconds + timing.baseline_backward_seconds
@@ -120,14 +133,13 @@ def result_rows(result: Dict) -> List[Dict]:
     ]
 
 
-def rows(scale: Scale = Scale.SMOKE, executor=None, sparse=None) -> List[Dict]:
+def rows(scale: Scale = Scale.SMOKE, executor=None, sparse=None, config=None):
     """Structured data step: per-engine loss/time summary.
 
-    ``executor`` picks the scan backend for the BPPSA run (spec string,
-    instance, or ``None`` for the process default); ``sparse`` the
-    scan's dispatch policy.
+    ``config`` names the BPPSA run's scan surface declaratively;
+    ``executor`` / ``sparse`` are the legacy per-axis overrides.
     """
-    return result_rows(run(scale, executor=executor, sparse=sparse))
+    return result_rows(run(scale, executor=executor, sparse=sparse, config=config))
 
 
 def render_report(result: Dict) -> str:

@@ -3,6 +3,13 @@
 Usage::
 
     python -m repro.experiments.run_all [--scale smoke|paper] [--out DIR]
+                                        [--config SPEC]
+
+``--config`` takes a :mod:`repro.config` spec string (e.g.
+``"blelloch/thread:2/sparse=auto:0.4"``) handed to every artifact's
+``run(scale, config=…)`` entry point — artifacts that execute a ⊙ scan
+build their engines through :func:`repro.build_engine` under that
+configuration; purely analytical artifacts accept and ignore it.
 
 Each artifact's rendered table/series is printed and, with ``--out``,
 written to one text file per artifact — the inputs EXPERIMENTS.md is
@@ -34,6 +41,7 @@ from repro.experiments import (
     table1_sparsity,
     table2_devices,
 )
+from repro.config import ScanConfig
 from repro.experiments.common import (
     Scale,
     banner,
@@ -59,21 +67,28 @@ ARTIFACTS: List[Tuple[str, object]] = [
 ]
 
 
-def run_all(scale: Scale, out_dir: pathlib.Path | None = None) -> Dict[str, str]:
+def run_all(
+    scale: Scale,
+    out_dir: pathlib.Path | None = None,
+    config: "ScanConfig | str | None" = None,
+) -> Dict[str, str]:
     """Run every harness; return ``{artifact: rendered report}``.
 
-    Each artifact's data step (``run``) executes exactly once; the text
-    report and the structured rows are both derived from that single
-    result.  With ``out_dir``, ``<artifact>.txt`` (rendered report) and
+    ``config`` — a :class:`repro.config.ScanConfig` or spec string —
+    is passed to every artifact's ``run`` so one declarative value
+    configures the whole sweep.  Each artifact's data step (``run``)
+    executes exactly once; the text report and the structured rows are
+    both derived from that single result.  With ``out_dir``, ``<artifact>.txt`` (rendered report) and
     ``<artifact>.json`` (rows + elapsed wall-time) are written side by
     side.  A combined summary table with per-artifact elapsed seconds
     is printed at the end.
     """
+    config = ScanConfig.coerce(config)
     reports: Dict[str, str] = {}
     summary: List[Tuple[str, int, float]] = []
     for name, module in ARTIFACTS:
         t0 = time.perf_counter()
-        result = module.run(scale)
+        result = module.run(scale, config=config)
         elapsed = time.perf_counter() - t0
         text = module.render_report(result)
         rows = module.result_rows(result)
@@ -99,14 +114,20 @@ def run_all(scale: Scale, out_dir: pathlib.Path | None = None) -> Dict[str, str]
 
 
 def main() -> None:
-    """CLI entry point (``--scale``, ``--out``)."""
+    """CLI entry point (``--scale``, ``--out``, ``--config``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scale", choices=[s.value for s in Scale], default=Scale.SMOKE.value
     )
     parser.add_argument("--out", type=pathlib.Path, default=None)
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="scan-config spec applied to every artifact, e.g. "
+        '"blelloch/thread:2/sparse=auto:0.4" (see repro.config)',
+    )
     args = parser.parse_args()
-    run_all(Scale(args.scale), args.out)
+    run_all(Scale(args.scale), args.out, config=args.config)
 
 
 if __name__ == "__main__":

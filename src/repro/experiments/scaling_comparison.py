@@ -63,11 +63,13 @@ def gpipe_backward_latency_steps(n: int, p: int) -> float:
     return per_stage_steps * (micro + stages - 1)
 
 
-def run(scale: Scale = Scale.SMOKE, mm_cost: float = 2.0) -> Dict:
+def run(scale: Scale = Scale.SMOKE, mm_cost: float = 2.0, config=None) -> Dict:
     """Schedule the same backward pass under all three strategies.
 
     ``mm_cost`` is the cost of one ⊙ matrix product relative to a
-    baseline BP stage step.
+    baseline BP stage step.  ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); this artifact runs no ⊙
+    scan, so it has nothing to configure.
     """
     p = PARAMS[scale]
     n = p["n"]

@@ -19,6 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.config import ScanConfig
 from repro.experiments.common import Scale, format_table, print_report
 from repro.scan import SparsePolicy
 from repro.jacobian import (
@@ -68,8 +69,12 @@ def _time(fn, repeats: int = 3) -> float:
     return best
 
 
-def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
+def run(scale: Scale = Scale.SMOKE, seed: int = 0, config=None) -> Dict:
     """Measure Table 1 sparsity + generation speedup at ``scale``.
+
+    ``config`` (a :class:`~repro.config.ScanConfig` or spec string)
+    names the dispatch policy the ``scan_dispatch`` column reports;
+    ``None`` resolves the ambient default.
 
     ``scale`` picks the reduced timing configuration (the autograd
     baseline is O(columns)); the sparsity formulas always use the
@@ -118,7 +123,7 @@ def run(scale: Scale = Scale.SMOKE, seed: int = 0) -> Dict:
     # T-Jacobian at the paper configuration (auto mode, default bound):
     # all three are far below the densify threshold, i.e. the sparse
     # execution path really engages for every Table 1 operator.
-    policy = SparsePolicy.resolve(None)
+    policy = ScanConfig.coerce(config).resolve().sparse_policy()
     return {
         "rows": [
             {
@@ -158,9 +163,9 @@ def result_rows(result: Dict) -> List[Dict]:
     return [dict(row) for row in result["rows"]]
 
 
-def rows(scale: Scale = Scale.SMOKE) -> List[Dict]:
+def rows(scale: Scale = Scale.SMOKE, config=None) -> List[Dict]:
     """Structured data step: Table 1 as a list of dicts."""
-    return result_rows(run(scale))
+    return result_rows(run(scale, config=config))
 
 
 def render_report(result: Dict) -> str:

@@ -8,8 +8,13 @@ from repro.experiments.common import Scale, format_table, print_report
 from repro.pram import DEVICE_CATALOG
 
 
-def run(scale: Scale = Scale.SMOKE) -> Dict:
-    """Return the device catalog as Table 2 rows (scale-invariant)."""
+def run(scale: Scale = Scale.SMOKE, config=None) -> Dict:
+    """Return the device catalog as Table 2 rows (scale-invariant).
+
+    ``config`` is accepted for entry-point uniformity across the 13
+    artifacts (see :mod:`repro.config`); this artifact runs no ⊙
+    scan, so it has nothing to configure.
+    """
     keys = ["CUDA", "cuDNN", "PyTorch", "CPU", "Host Memory", "Linux Kernel"]
     rows = []
     for dev in DEVICE_CATALOG.values():

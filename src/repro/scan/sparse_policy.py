@@ -46,7 +46,7 @@ column order, while BLAS may re-associate the equivalent dense sums.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional, Union
 
 #: Environment variable naming the default sparse mode (spec grammar).
@@ -121,21 +121,32 @@ class SparsePolicy:
 
     @classmethod
     def from_env(cls, fallback: Optional["SparsePolicy"] = None) -> "SparsePolicy":
-        """The policy named by ``$REPRO_SCAN_SPARSE``.
+        """The ambient policy: ``repro.configure()`` overrides, then
+        ``$REPRO_SCAN_SPARSE``.
 
-        Falls back to ``fallback`` when the variable is unset;
-        ``$REPRO_SCAN_SPARSE_THRESHOLD``, when set, overrides the
-        fallback's threshold too (both variables are operational
-        knobs — they beat code-level defaults).
+        Falls back to ``fallback`` when neither names a mode; a scoped
+        override or ``$REPRO_SCAN_SPARSE_THRESHOLD`` overrides the
+        fallback's threshold too (both are operational knobs — they
+        beat code-level defaults).  Resolution is delegated to
+        :meth:`repro.config.ScanConfig.resolve`, the single resolution
+        point of the configuration plane.
         """
-        spec = os.environ.get(SPARSE_ENV_VAR)
-        if spec:
-            return cls.parse(spec)
+        # Lazy import: repro.config imports this module at load time.
+        from repro.config import ScanConfig
+
+        defaults = None
         if fallback is not None:
-            if os.environ.get(THRESHOLD_ENV_VAR):
-                return replace(fallback, densify_threshold=_env_threshold())
-            return fallback
-        return cls(densify_threshold=_env_threshold())
+            defaults = {
+                "sparse": fallback.mode,
+                # ScanConfig expresses "never densify" as 1.0 (None
+                # means *unset* there); sparse_policy() maps it back.
+                "densify_threshold": (
+                    fallback.densify_threshold
+                    if fallback.densify_threshold is not None
+                    else 1.0
+                ),
+            }
+        return ScanConfig().resolve(defaults).sparse_policy()
 
     @classmethod
     def resolve(
