@@ -201,6 +201,52 @@ _RECORD_FIELDS: Dict[str, Any] = {
 #: is part of the schema, not an optional extra).
 _REQUIRED_ENV_KEYS = ("python", "numpy", "cpu_count")
 
+#: Sweep axes a backend label may carry as ``[key=value]`` suffixes.
+#: A baseline containing an axis this reader does not know is a *schema*
+#: mismatch, not a missing measurement: the regression gate must refuse
+#: to silently compare across unknown dimensions.
+_KNOWN_BACKEND_AXES = ("kernel", "sparse")
+
+
+def _validate_backend_label(label: str) -> None:
+    """Validate the axis suffixes of a backend label.
+
+    Labels are ``<spec>`` optionally followed by ``[key=value]`` groups,
+    e.g. ``"thread:2[sparse=on][kernel=numba]"``.  Any malformed group
+    or unknown axis key raises :class:`SchemaError` — an unknown axis
+    means the file was written by a newer sweep than this reader
+    understands, and comparing against it would gate nothing.
+    """
+    base, bracket, rest = label.partition("[")
+    if not bracket:
+        return
+    if not base:
+        raise SchemaError(
+            f"record: backend label {label!r} has axis suffixes but no "
+            "executor spec"
+        )
+    rest = bracket + rest
+    while rest:
+        if not rest.startswith("[") or "]" not in rest:
+            raise SchemaError(
+                f"record: malformed axis suffix in backend label {label!r} "
+                '(expected "[key=value]" groups)'
+            )
+        group, rest = rest[1:].split("]", 1)
+        key, eq, value = group.partition("=")
+        if not eq or not key or not value:
+            raise SchemaError(
+                f"record: malformed axis suffix {group!r} in backend label "
+                f'{label!r} (expected "key=value")'
+            )
+        if key not in _KNOWN_BACKEND_AXES:
+            raise SchemaError(
+                f"record: unknown benchmark axis {key!r} in backend label "
+                f"{label!r}; known axes: {', '.join(_KNOWN_BACKEND_AXES)} — "
+                "the file was written by a newer sweep; regenerate it (or "
+                "the baseline) with this version's sweep flags"
+            )
+
 
 def _check_fields(d: Mapping[str, Any], spec: Mapping[str, Any], ctx: str) -> None:
     for name, kind in spec.items():
@@ -239,6 +285,7 @@ def validate_record(d: Mapping[str, Any]) -> None:
         )
     if d["num_rows"] < 0:
         raise SchemaError("record: num_rows must be >= 0")
+    _validate_backend_label(d["backend"])
     # Optional (absent in pre-configuration-plane records): the
     # serialized ScanConfig of the measurement.
     if "config" in d and not isinstance(d["config"], dict):

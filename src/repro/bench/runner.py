@@ -19,6 +19,15 @@ dense-vs-sparse timings of the same workload land side by side in
 default-policy measurement (its plain ``"<backend>"`` key), so switch
 a baseline to the swept shape by regenerating it with the same
 ``--sparse`` flags.
+
+A third axis covers the SpGEMM numeric kernel
+(:mod:`repro.scan.kernels`): with ``kernel_modes`` (the CLI's
+``--kernel`` flag), *kernel-sensitive* artifacts run once per kernel
+per (backend, sparse-mode) cell, appending ``[kernel=<name>]`` to the
+record key — ``"serial[sparse=on][kernel=numba]"`` — so the
+reference-vs-compiled medians of the same workload sit side by side.
+Like the sparse axis, the sweep replaces the single default-kernel
+measurement, and baselines must be regenerated with matching flags.
 """
 
 from __future__ import annotations
@@ -118,38 +127,50 @@ def make_sparse_scan_items(
 class BenchArtifact:
     """One benchmarkable artifact: a name plus its rows-producing step.
 
-    ``rows_fn(scale, spec, sparse)`` executes the artifact's data step
-    under executor spec ``spec`` (``None`` for backend-insensitive
-    artifacts) and sparse dispatch mode ``sparse`` (``None`` when the
-    sparse axis is off) and returns the structured rows.
-    ``backend_sensitive`` marks artifacts whose wall-clock a scan
-    backend can change; ``sparse_sensitive`` marks the ones the
-    dense-vs-sparse dispatch flows through.
+    ``rows_fn(scale, spec, sparse, kernel)`` executes the artifact's
+    data step under executor spec ``spec`` (``None`` for
+    backend-insensitive artifacts), sparse dispatch mode ``sparse``
+    (``None`` when the sparse axis is off), and SpGEMM numeric kernel
+    ``kernel`` (``None`` when the kernel axis is off) and returns the
+    structured rows.  ``backend_sensitive`` marks artifacts whose
+    wall-clock a scan backend can change; ``sparse_sensitive`` marks
+    the ones the dense-vs-sparse dispatch flows through;
+    ``kernel_sensitive`` marks the scan microbenchmarks whose ⊙
+    compositions reach the numeric-kernel layer.
     """
 
     name: str
-    rows_fn: Callable[[Scale, Optional[str], Optional[str]], List[Dict[str, Any]]]
+    rows_fn: Callable[
+        [Scale, Optional[str], Optional[str], Optional[str]],
+        List[Dict[str, Any]],
+    ]
     backend_sensitive: bool = False
     sparse_sensitive: bool = False
+    kernel_sensitive: bool = False
 
 
-def measurement_config(spec: Optional[str], sparse: Optional[str]) -> ScanConfig:
-    """The declarative config of one (backend, sparse-mode) measurement.
+def measurement_config(
+    spec: Optional[str], sparse: Optional[str], kernel: Optional[str] = None
+) -> ScanConfig:
+    """The declarative config of one (backend, sparse, kernel) measurement.
 
     Unset axes stay unset, so resolution falls through to the ambient
     defaults — :meth:`ScanConfig.resolve` of this value is exactly
     what the artifact's engines adopt, and its serialized form is what
     the measurement's :class:`~repro.bench.record.BenchRecord` embeds.
     """
-    return ScanConfig(executor=spec, sparse=sparse)
+    return ScanConfig(executor=spec, sparse=sparse, kernel=kernel)
 
 
 def _experiment(module):
     def rows_fn(
-        scale: Scale, spec: Optional[str], sparse: Optional[str]
+        scale: Scale,
+        spec: Optional[str],
+        sparse: Optional[str],
+        kernel: Optional[str],
     ) -> List[Dict[str, Any]]:
         return module.result_rows(
-            module.run(scale, config=measurement_config(spec, sparse))
+            module.run(scale, config=measurement_config(spec, sparse, kernel))
         )
 
     return rows_fn
@@ -162,44 +183,71 @@ _engine_experiment = _experiment
 
 
 def _parallel_backends_rows(
-    scale: Scale, spec: Optional[str], sparse: Optional[str]
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
 ) -> List[Dict[str, Any]]:
     """One Blelloch scan over T dense H×H Jacobians on the given backend."""
     from repro.backend import get_executor
     from repro.scan import ScanContext, blelloch_scan
 
-    cfg = measurement_config(spec, sparse).resolve()
+    cfg = measurement_config(spec, sparse, kernel).resolve()
     p = SCAN_PARAMS[scale]
     t, b, h = p["seq_len"], p["batch"], p["hidden"]
     items = make_scan_items(t, b, h)
     with get_executor(cfg.executor) as ex:
-        out = blelloch_scan(items, ScanContext().op, executor=ex)
+        out = blelloch_scan(
+            items, ScanContext(kernel=cfg.kernel).op, executor=ex
+        )
     return [
         {
             "seq_len": t,
             "batch": b,
             "hidden": h,
             "backend": cfg.executor,
+            "kernel": cfg.kernel,
             "positions": len(out),
         }
     ]
 
 
+#: Steady-state cache for the sparse_scan artifact: (items, context)
+#: per measurement cell, so repeated timed calls of one cell reuse the
+#: SpGEMM plans, output patterns, and arena workspaces exactly like
+#: consecutive training steps do.  Pair with ``--warmup 1`` (the
+#: checked-in baseline does) so the first, cold call stays un-timed.
+_SPARSE_SCAN_STATE: Dict[tuple, tuple] = {}
+
+
 def _sparse_scan_rows(
-    scale: Scale, spec: Optional[str], sparse: Optional[str]
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
 ) -> List[Dict[str, Any]]:
-    """One Blelloch scan over a CSR Jacobian chain on the given backend
-    and dispatch mode — the dense-vs-sparse speedup microbenchmark."""
+    """One Blelloch scan over a CSR Jacobian chain on the given backend,
+    dispatch mode, and numeric kernel — the dense-vs-sparse speedup
+    microbenchmark, and the kernel axis's step-function workload.
+    Measures the *steady-state* (per-training-step) cost: symbolic
+    plans and scratch warmed by the first call are reused by repeats."""
     from repro.backend import get_executor
     from repro.scan import ScanContext, blelloch_scan
 
-    cfg = measurement_config(spec, sparse).resolve()
+    cfg = measurement_config(spec, sparse, kernel).resolve()
     policy = cfg.sparse_policy()
     p = SPARSE_SCAN_PARAMS[scale]
-    items = make_sparse_scan_items(
-        p["stages"], p["batch"], p["channels"], p["hw"], sparse=policy
-    )
-    ctx = ScanContext(sparse=policy)
+    key = (scale, cfg.executor, cfg.sparse, cfg.densify_threshold, cfg.kernel)
+    state = _SPARSE_SCAN_STATE.get(key)
+    if state is None:
+        items = make_sparse_scan_items(
+            p["stages"], p["batch"], p["channels"], p["hw"], sparse=policy
+        )
+        ctx = ScanContext(sparse=policy, kernel=cfg.kernel)
+        _SPARSE_SCAN_STATE[key] = (items, ctx)
+    else:
+        items, ctx = state
+        ctx.reset_trace()
     with get_executor(cfg.executor) as ex:
         out = blelloch_scan(items, ctx.op, executor=ex)
     return [
@@ -209,6 +257,7 @@ def _sparse_scan_rows(
             "dim": p["channels"] * p["hw"][0] * p["hw"][1],
             "backend": cfg.executor,
             "sparse": cfg.sparse,
+            "kernel": cfg.kernel,
             "total_flops": int(ctx.total_flops),
             "positions": len(out),
         }
@@ -238,12 +287,18 @@ ARTIFACTS: List[BenchArtifact] = [
     BenchArtifact(
         "fig9_rnn_curve", _engine_experiment(fig9_rnn_curve), backend_sensitive=True
     ),
-    BenchArtifact("parallel_backends", _parallel_backends_rows, backend_sensitive=True),
+    BenchArtifact(
+        "parallel_backends",
+        _parallel_backends_rows,
+        backend_sensitive=True,
+        kernel_sensitive=True,
+    ),
     BenchArtifact(
         "sparse_scan",
         _sparse_scan_rows,
         backend_sensitive=True,
         sparse_sensitive=True,
+        kernel_sensitive=True,
     ),
 ]
 
@@ -255,18 +310,25 @@ def artifact_names() -> List[str]:
     return [a.name for a in ARTIFACTS]
 
 
-def backend_label(spec: Optional[str], sparse: Optional[str]) -> str:
+def backend_label(
+    spec: Optional[str], sparse: Optional[str], kernel: Optional[str] = None
+) -> str:
     """The ``backend`` field recorded for one measurement.
 
-    A plain executor spec (``"serial"``) without the sparse axis;
-    ``"serial[sparse=on]"`` when a dispatch mode was swept.  Artifacts
-    the sparse axis never touches keep their plain keys either way;
-    sparse-sensitive artifacts change key shape with ``--sparse``, so a
-    baseline must be regenerated with the same sweep flags it will be
-    compared against.
+    A plain executor spec (``"serial"``) without any swept axis;
+    ``"serial[sparse=on]"`` when a dispatch mode was swept, and
+    ``"serial[sparse=on][kernel=numba]"`` with the kernel axis too
+    (axes always append in that order).  Artifacts an axis never
+    touches keep their shorter keys either way; swept artifacts change
+    key shape with ``--sparse`` / ``--kernel``, so a baseline must be
+    regenerated with the same sweep flags it will be compared against.
     """
     base = spec if spec is not None else NO_BACKEND
-    return f"{base}[sparse={sparse}]" if sparse is not None else base
+    if sparse is not None:
+        base = f"{base}[sparse={sparse}]"
+    if kernel is not None:
+        base = f"{base}[kernel={kernel}]"
+    return base
 
 
 def run_bench(
@@ -277,10 +339,11 @@ def run_bench(
     warmup: int = 0,
     repeats: int = 1,
     sparse_modes: Optional[Sequence[str]] = None,
+    kernel_modes: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[BenchRecord]:
-    """Sweep ``artifacts`` × ``backends`` (× ``sparse_modes``) into
-    validated records.
+    """Sweep ``artifacts`` × ``backends`` (× ``sparse_modes``
+    × ``kernel_modes``) into validated records.
 
     Parameters
     ----------
@@ -302,6 +365,13 @@ def run_bench(
         sparse-sensitive artifacts; ``None`` disables the axis (every
         artifact runs once, under the process default policy, with the
         plain backend key).
+    kernel_modes
+        SpGEMM numeric kernels (``"numpy"``, ``"numba"``) to sweep on
+        kernel-sensitive artifacts; ``None`` disables the axis.  The
+        ``"numba"`` cell silently measures the pure-NumPy fast path
+        when Numba is not installed (the record's embedded config
+        still says which name ran; check
+        :func:`repro.scan.numba_available` when it matters).
     progress
         Optional callback receiving one human-readable line per
         measurement as it completes.
@@ -310,6 +380,8 @@ def run_bench(
         raise ValueError("at least one backend spec is required")
     if sparse_modes is not None and not sparse_modes:
         raise ValueError("sparse_modes must be None or a non-empty sequence")
+    if kernel_modes is not None and not kernel_modes:
+        raise ValueError("kernel_modes must be None or a non-empty sequence")
     if artifacts is None:
         selected = list(ARTIFACTS)
     else:
@@ -331,36 +403,46 @@ def run_bench(
             if artifact.sparse_sensitive and sparse_modes is not None
             else [None]
         )
+        kernels: List[Optional[str]] = (
+            list(kernel_modes)
+            if artifact.kernel_sensitive and kernel_modes is not None
+            else [None]
+        )
         for spec in specs:
             for mode in modes:
-                rows, stats = measure(
-                    lambda: artifact.rows_fn(scale, spec, mode),
-                    warmup=warmup,
-                    repeats=repeats,
-                )
-                try:
-                    # Every record states exactly which (resolved)
-                    # configuration produced it.
-                    cfg_dict = measurement_config(spec, mode).resolve().to_dict()
-                except (ValueError, TypeError) as exc:
-                    # Malformed ambient REPRO_SCAN_* values must not
-                    # abort recording an artifact that just ran fine
-                    # (analytical artifacts never resolve the config).
-                    cfg_dict = {"error": str(exc)}
-                record = BenchRecord(
-                    artifact=artifact.name,
-                    scale=scale.value,
-                    backend=backend_label(spec, mode),
-                    timing=stats,
-                    environment=env,
-                    num_rows=len(rows),
-                    config=cfg_dict,
-                )
-                records.append(record)
-                if progress is not None:
-                    progress(
-                        f"{artifact.name} [{record.backend}] "
-                        f"median {stats.median_s * 1e3:.1f} ms, "
-                        f"{record.num_rows} rows"
+                for kern in kernels:
+                    rows, stats = measure(
+                        lambda: artifact.rows_fn(scale, spec, mode, kern),
+                        warmup=warmup,
+                        repeats=repeats,
                     )
+                    try:
+                        # Every record states exactly which (resolved)
+                        # configuration produced it.
+                        cfg_dict = (
+                            measurement_config(spec, mode, kern)
+                            .resolve()
+                            .to_dict()
+                        )
+                    except (ValueError, TypeError) as exc:
+                        # Malformed ambient REPRO_SCAN_* values must not
+                        # abort recording an artifact that just ran fine
+                        # (analytical artifacts never resolve the config).
+                        cfg_dict = {"error": str(exc)}
+                    record = BenchRecord(
+                        artifact=artifact.name,
+                        scale=scale.value,
+                        backend=backend_label(spec, mode, kern),
+                        timing=stats,
+                        environment=env,
+                        num_rows=len(rows),
+                        config=cfg_dict,
+                    )
+                    records.append(record)
+                    if progress is not None:
+                        progress(
+                            f"{artifact.name} [{record.backend}] "
+                            f"median {stats.median_s * 1e3:.1f} ms, "
+                            f"{record.num_rows} rows"
+                        )
     return records

@@ -3,7 +3,7 @@
 One frozen :class:`ScanConfig` value captures the entire tuning
 surface of the ⊙ scan (algorithm, truncation depth, executor backend,
 dense-vs-sparse dispatch, densify threshold, linear-Jacobian tolerance,
-pattern-cache policy), with:
+pattern-cache policy, SpGEMM numeric kernel), with:
 
 * a **spec grammar** that round-trips —
   ``ScanConfig.from_spec("blelloch/thread:8/sparse=auto:0.4")`` ↔

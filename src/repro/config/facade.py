@@ -182,11 +182,12 @@ def adopt_config(
     corresponding ``config`` fields.
 
     Adoptable fields: ``executor`` (via ``set_executor``), ``sparse`` /
-    ``densify_threshold`` (via ``set_sparse_policy``), ``algorithm``
-    and ``up_levels`` (plain attributes both engines re-read on every
-    scan).  Construction-only fields (``sparse_linear_tol``,
-    ``pattern_cache``) cannot be adopted and raise ``ValueError`` —
-    rebuild through :func:`build_engine` instead.
+    ``densify_threshold`` (via ``set_sparse_policy``), ``kernel`` (via
+    ``set_kernel``), ``algorithm`` and ``up_levels`` (plain attributes
+    both engines re-read on every scan).  Construction-only fields
+    (``sparse_linear_tol``, ``pattern_cache``) cannot be adopted and
+    raise ``ValueError`` — rebuild through :func:`build_engine`
+    instead.
 
     Raises ``ValueError`` when any adoptable field is set but
     ``engine`` is ``None`` (baseline BP has no scan to configure), and
@@ -207,7 +208,13 @@ def adopt_config(
         cfg.sparse is not None or cfg.densify_threshold is not None
     )
     want_algorithm = cfg.algorithm is not None or cfg.up_levels is not None
-    if executor is None and not want_sparse and not want_algorithm:
+    want_kernel = cfg.kernel is not None
+    if (
+        executor is None
+        and not want_sparse
+        and not want_algorithm
+        and not want_kernel
+    ):
         return engine
     if engine is None:
         raise ValueError(
@@ -233,6 +240,13 @@ def adopt_config(
         engine.set_sparse_policy(
             sparse if sparse is not None else cfg.sparse_policy()
         )
+    if want_kernel:
+        if not hasattr(engine, "set_kernel"):
+            raise TypeError(
+                "engine does not implement set_kernel; construct the "
+                "engine with its kernel instead"
+            )
+        engine.set_kernel(cfg.kernel)
     if want_algorithm:
         # Same contract as the setters above: adopting onto an engine
         # that has no such knob is a TypeError, not a silent attribute.

@@ -139,6 +139,7 @@ class FeedforwardBPPSA(ExecutorOwner):
                 else cfg.make_pattern_cache()
             ),
             sparse=cfg.sparse_policy(),
+            kernel=cfg.kernel,
         )
         self._activations: List[np.ndarray] = []
 
@@ -151,6 +152,12 @@ class FeedforwardBPPSA(ExecutorOwner):
         """Replace the dispatch policy (spec string, policy, or ``None``
         to re-resolve against ``REPRO_SCAN_SPARSE``)."""
         self.context.set_sparse_policy(sparse)
+
+    def set_kernel(self, kernel) -> None:
+        """Replace the SpGEMM numeric kernel (``"numpy"`` | ``"numba"``,
+        a :class:`~repro.scan.ScanKernel`, or ``None`` to re-resolve
+        against ``REPRO_SCAN_KERNEL``)."""
+        self.context.set_kernel(kernel)
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:

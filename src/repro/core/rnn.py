@@ -87,7 +87,9 @@ class RNNBPPSA(ExecutorOwner):
         self.up_levels = cfg.up_levels
         self.set_executor(_construction_executor(merged, cfg, executor))
         self.context = ScanContext(
-            pattern_cache=cfg.make_pattern_cache(), sparse=cfg.sparse_policy()
+            pattern_cache=cfg.make_pattern_cache(),
+            sparse=cfg.sparse_policy(),
+            kernel=cfg.kernel,
         )
 
     @property
@@ -99,6 +101,12 @@ class RNNBPPSA(ExecutorOwner):
         """Replace the dispatch policy (spec string, policy, or ``None``
         to re-resolve against ``REPRO_SCAN_SPARSE``)."""
         self.context.set_sparse_policy(sparse)
+
+    def set_kernel(self, kernel) -> None:
+        """Replace the SpGEMM numeric kernel (``"numpy"`` | ``"numba"``,
+        a :class:`~repro.scan.ScanKernel`, or ``None`` to re-resolve
+        against ``REPRO_SCAN_KERNEL``)."""
+        self.context.set_kernel(kernel)
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:

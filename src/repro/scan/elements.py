@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.scan.kernels import KernelArena, ScanKernel, get_kernel
 from repro.scan.sparse_policy import SparsePolicy
 from repro.sparse import CSRMatrix, PatternCache, csr_matvec_batched
 
@@ -214,6 +215,13 @@ class ScanContext:
         with ``densify_threshold``).  In ``off`` mode every sparse
         operand is densified before it is combined, so the context
         computes the pure dense path.
+    kernel:
+        The SpGEMM numeric-phase implementation — a
+        :class:`~repro.scan.kernels.ScanKernel`, a name (``"numpy"`` |
+        ``"numba"``), or ``None`` to follow ``$REPRO_SCAN_KERNEL``
+        (falling back to the bitwise NumPy reference).  Every kernel
+        produces bitwise-identical results; see
+        :mod:`repro.scan.kernels`.
     """
 
     def __init__(
@@ -221,11 +229,16 @@ class ScanContext:
         pattern_cache: Optional[PatternCache] = None,
         densify_threshold: Optional[float] = 0.25,
         sparse: Union[SparsePolicy, str, None] = None,
+        kernel: Union[ScanKernel, str, None] = None,
     ) -> None:
         self.cache = pattern_cache if pattern_cache is not None else PatternCache()
         self.sparse_policy = SparsePolicy.resolve(
             sparse, densify_threshold=densify_threshold
         )
+        self.kernel = get_kernel(kernel)
+        # Per-context scratch arena for the numeric phase; owns scratch
+        # only — numeric outputs belong to the result elements.
+        self.arena = KernelArena()
         self.trace: List[StepRecord] = []
         self.total_flops = 0
         # ⊙ may be evaluated concurrently by a thread-backend scan
@@ -250,6 +263,12 @@ class ScanContext:
         The pattern cache and trace are untouched.
         """
         self.sparse_policy = SparsePolicy.resolve(sparse)
+
+    def set_kernel(self, kernel: Union[ScanKernel, str, None]) -> None:
+        """Replace the SpGEMM numeric kernel (name, kernel, or ``None``
+        to re-resolve against ``$REPRO_SCAN_KERNEL``).  The arena and
+        its warmed-up workspaces are untouched."""
+        self.kernel = get_kernel(kernel)
 
     def reset_trace(self) -> None:
         with self._lock:
@@ -324,7 +343,9 @@ class ScanContext:
 
         if isinstance(b, SparseJacobian) and isinstance(a, SparseJacobian):
             plan = self.cache.plan_for(b.pattern, a.pattern)
-            vals = plan.execute_batched(b.values(), a.values())
+            vals = plan.execute_batched(
+                b.values(), a.values(), kernel=self.kernel, workspace=self.arena
+            )
             result, flops = self._wrap_sparse_product(a, b, plan, vals)
             return result, flops, mnk
 
@@ -385,13 +406,9 @@ class ScanContext:
                 )
             )
         else:
-            out_pattern = CSRMatrix(
-                plan.out_indptr,
-                plan.out_indices,
-                np.ones(plan.out_nnz),
-                plan.out_shape,
-            )
-            out = SparseJacobian(out_pattern, out_values)
+            # The plan's cached pattern object: zero fresh CSR
+            # allocations per product once the plan is warm.
+            out = SparseJacobian(plan.out_pattern(), out_values)
         flops = plan.flops * max(_result_batch(a, b) or 1, 1)
         return self._maybe_densify(out), flops
 

@@ -1,0 +1,455 @@
+"""Pluggable SpGEMM numeric-phase kernels and preallocated arenas.
+
+The symbolic/numeric split of :mod:`repro.sparse.spgemm` already runs
+the symbolic phase once per repeating Jacobian sparsity pattern; this
+module makes the *numeric* phase — the gather–multiply–segment-sum that
+every ⊙ composition of the scan's hot loop pays per level, per batch,
+per training step — pluggable and allocation-free:
+
+* ``"numpy"`` — the reference kernel,
+  :func:`repro.sparse.spgemm_numeric_batched`, unchanged.  Every other
+  kernel is required to be **bitwise-identical** to it (same products,
+  same per-slot accumulation order), which is what the differential
+  oracle in ``tests/test_kernel_oracle.py`` enforces.
+* ``"numba"`` — a lazily JIT-compiled sequential accumulation loop
+  over the plan's gather/scatter maps.  When Numba is not installed
+  the name resolves to a pure-NumPy **fast path** instead (gather and
+  multiply into arena-preallocated scratch via ``np.take(..., out=)``
+  / ``np.multiply(..., out=)``, precomputed flat segment offsets, one
+  flat ``np.bincount``) — same bitwise contract, no hard dependency.
+
+Kernel selection mirrors the sparse-policy plumbing: an explicit
+kernel (engine kwarg, :class:`~repro.config.ScanConfig` field, or spec
+segment ``kernel=numba``) wins, else ``$REPRO_SCAN_KERNEL``, else the
+reference.  :class:`KernelArena` owns the per-plan scratch workspaces
+(gather buffers, product buffer, flat scatter offsets) that make the
+steady-state numeric phase allocation-free; workspaces are keyed
+weakly by plan and held in thread-local storage so a thread-backend
+scan level never shares scratch between concurrent ⊙ products.
+
+Arena ownership rules (see DESIGN.md § Kernel layer): the arena owns
+*scratch only*.  Numeric outputs are owned by the result element —
+scan results outlive the level that produced them (the Blelloch
+down-sweep re-reads up-sweep outputs), so an output written into
+reused arena storage would be clobbered by the next product.  Workers
+that want a truly allocation-free write (the process backend's
+shared-memory offload) pass ``out=`` explicitly and own that buffer.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sparse.spgemm import SpGEMMPlan, spgemm_numeric_batched
+
+#: Environment variable naming the default SpGEMM numeric kernel.
+KERNEL_ENV_VAR = "REPRO_SCAN_KERNEL"
+
+#: Selectable kernel names (``"numba"`` silently falls back to the
+#: pure-NumPy fast path when Numba is not installed).
+KERNELS = ("numpy", "numba")
+
+#: Bottom-rung default: the bitwise reference kernel.
+DEFAULT_KERNEL = "numpy"
+
+
+# ---------------------------------------------------------------------------
+# arena workspaces
+# ---------------------------------------------------------------------------
+class PlanWorkspace:
+    """Preallocated numeric-phase scratch for one plan on one thread.
+
+    Holds the three buffers the fast NumPy path needs — two gather
+    destinations, reused in place as the product buffer, and the
+    precomputed flat segment-sum offsets
+    ``offsets[b, i] = b · out_nnz + scatter[i]`` — sized for a batch
+    *capacity* that grows monotonically (a workspace warmed up at
+    batch B serves every batch ≤ B without allocating).
+    """
+
+    __slots__ = ("capacity", "n_expanded", "out_nnz", "_scatter",
+                 "_gather_a", "_gather_b", "_offsets")
+
+    def __init__(self, plan: SpGEMMPlan) -> None:
+        self.capacity = 0
+        self.n_expanded = int(len(plan.src_a))
+        self.out_nnz = plan.out_nnz
+        # Only the scatter map is needed to rebuild offsets on growth;
+        # keeping it (a reference, not a copy) avoids holding the plan
+        # itself alive from inside the arena's weak-keyed pool.
+        self._scatter = plan.scatter
+        self._gather_a: Optional[np.ndarray] = None
+        self._gather_b: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+
+    def ensure(self, batch: int) -> bool:
+        """Grow the buffers to hold ``batch`` rows; True if (re)allocated."""
+        if batch <= self.capacity:
+            return False
+        n = self.n_expanded
+        self._gather_a = np.empty((batch, n), dtype=np.float64)
+        self._gather_b = np.empty((batch, n), dtype=np.float64)
+        self._offsets = (
+            np.arange(batch, dtype=np.int64)[:, None] * self.out_nnz
+            + self._scatter
+        )
+        self.capacity = batch
+        return True
+
+    def gather(self, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(B, n_expanded) gather/product scratch views."""
+        return self._gather_a[:batch], self._gather_b[:batch]
+
+    def flat_offsets(self, batch: int) -> np.ndarray:
+        """Flat (B · n_expanded,) segment offsets for one bincount."""
+        return self._offsets[:batch].reshape(-1)
+
+
+class KernelArena:
+    """Thread-local pool of :class:`PlanWorkspace` scratch, plan-keyed.
+
+    One arena lives on each :class:`~repro.scan.ScanContext`; every
+    thread touching the context gets its own workspace per plan
+    (concurrent ⊙ products of one scan level must not share scratch).
+    Workspaces are keyed by the plan object itself through a
+    :class:`weakref.WeakKeyDictionary`, so evicting a plan from the
+    pattern cache releases its scratch too.
+
+    ``allocations`` counts workspace buffer (re)allocations and
+    ``reuses`` counts numeric calls served entirely from existing
+    buffers — the hooks the steady-state property tests assert on
+    (zero fresh allocations once warmed up).
+    """
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self.allocations = 0
+        self.reuses = 0
+
+    def workspace(self, plan: SpGEMMPlan, batch: int) -> PlanWorkspace:
+        """The calling thread's workspace for ``plan``, grown to ``batch``."""
+        pool = getattr(self._tls, "pool", None)
+        if pool is None:
+            pool = weakref.WeakKeyDictionary()
+            self._tls.pool = pool
+        ws = pool.get(plan)
+        if ws is None:
+            ws = PlanWorkspace(plan)
+            pool[plan] = ws
+        if ws.ensure(batch):
+            with self._lock:
+                self.allocations += 1
+        else:
+            with self._lock:
+                self.reuses += 1
+        return ws
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+def _as_batched(data: np.ndarray) -> np.ndarray:
+    return np.atleast_2d(np.asarray(data, dtype=np.float64))
+
+
+def _finish(result: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+    if out is None:
+        return result
+    out[...] = result
+    return out
+
+
+class ScanKernel:
+    """Interface of one SpGEMM numeric-phase implementation.
+
+    ``name`` is the registry name the kernel answers to; ``compiled``
+    says whether a compiled (JIT) build actually backs it — the
+    ``"numba"`` name reports ``compiled=False`` when it resolved to
+    the pure-NumPy fast-path fallback.
+    """
+
+    name: str = "abstract"
+    compiled: bool = False
+
+    def numeric(
+        self,
+        plan: SpGEMMPlan,
+        data_a: np.ndarray,
+        data_b: np.ndarray,
+        arena: Optional[KernelArena] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run the numeric phase of ``plan`` over batched value arrays.
+
+        ``data_a``/``data_b`` broadcast like
+        :meth:`~repro.sparse.SpGEMMPlan.execute_batched` ((B, nnz) or
+        (1, nnz) shared).  ``arena`` supplies reusable scratch;
+        ``out`` (shape (B, out_nnz), float64) receives the result in
+        place when given — the result array is otherwise freshly
+        allocated and owned by the caller, never by the arena.
+        """
+        raise NotImplementedError
+
+    def numeric_raw(
+        self,
+        src_a: np.ndarray,
+        src_b: np.ndarray,
+        scatter: np.ndarray,
+        out_nnz: int,
+        data_a: np.ndarray,
+        data_b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Plan-free entry over raw gather/scatter arrays.
+
+        What the process backend's shared-memory worker calls: the
+        plan object never crosses the process boundary, only its index
+        arrays do.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        tag = "compiled" if self.compiled else "pure NumPy"
+        return f"<ScanKernel {self.name!r} ({tag})>"
+
+
+class NumPyReferenceKernel(ScanKernel):
+    """The bitwise reference: :func:`repro.sparse.spgemm_numeric_batched`.
+
+    Ignores the arena by design — this kernel *is* the unchanged
+    historical implementation every other kernel is measured against.
+    """
+
+    name = "numpy"
+    compiled = False
+
+    def numeric(self, plan, data_a, data_b, arena=None, out=None):
+        return _finish(
+            spgemm_numeric_batched(
+                plan.src_a, plan.src_b, plan.scatter, plan.out_nnz,
+                data_a, data_b,
+            ),
+            out,
+        )
+
+    def numeric_raw(self, src_a, src_b, scatter, out_nnz, data_a, data_b,
+                    out=None):
+        return _finish(
+            spgemm_numeric_batched(src_a, src_b, scatter, out_nnz,
+                                   data_a, data_b),
+            out,
+        )
+
+
+class FastNumPyKernel(ScanKernel):
+    """Arena-backed pure-NumPy fast path (the ``"numba"`` fallback).
+
+    Bitwise-identical to the reference: the expanded products are the
+    same ``data_a[src_a] · data_b[src_b]`` pairs in the same order, and
+    the segment sum is the same flat ``np.bincount`` (which accumulates
+    strictly in input order).  The speedup comes from *allocation*
+    elimination, not reassociation: gathers land in preallocated
+    scratch (``np.take`` with ``out=``), the multiply is in-place, and
+    the flat offsets are precomputed once per (plan, batch) instead of
+    rebuilt from ``np.arange`` on every call.
+    """
+
+    name = "numba"  # what the name resolves to when Numba is absent
+    compiled = False
+
+    def numeric(self, plan, data_a, data_b, arena=None, out=None):
+        data_a = _as_batched(data_a)
+        data_b = _as_batched(data_b)
+        batch = max(data_a.shape[0], data_b.shape[0])
+        n_expanded = int(len(plan.src_a))
+        if n_expanded == 0:
+            if out is None:
+                return np.zeros((batch, plan.out_nnz))
+            out[...] = 0.0
+            return out
+        if arena is not None:
+            ws = arena.workspace(plan, batch)
+            buf_a, buf_b = ws.gather(batch)
+            offsets = ws.flat_offsets(batch)
+        else:
+            buf_a = np.empty((batch, n_expanded), dtype=np.float64)
+            buf_b = np.empty((batch, n_expanded), dtype=np.float64)
+            offsets = (
+                np.arange(batch, dtype=np.int64)[:, None] * plan.out_nnz
+                + plan.scatter
+            ).reshape(-1)
+        # Gather each side at its *native* batch (a shared (1, nnz)
+        # operand is gathered once, exactly like the reference's fancy
+        # indexing) and let the multiply broadcast — element-wise
+        # products are unchanged, so the result stays bitwise-equal.
+        ba, bb = data_a.shape[0], data_b.shape[0]
+        np.take(data_a, plan.src_a, axis=1, out=buf_a[:ba])
+        np.take(data_b, plan.src_b, axis=1, out=buf_b[:bb])
+        if bb == batch:
+            prod = np.multiply(buf_a[:ba], buf_b[:batch], out=buf_b[:batch])
+        else:  # shared b, batched a: accumulate into the a-buffer
+            prod = np.multiply(buf_a[:batch], buf_b[:bb], out=buf_a[:batch])
+        # Same flat segment sum as the reference; bincount is the one
+        # allocation left — it *is* the result the caller will own.
+        flat = np.bincount(
+            offsets, weights=prod.reshape(-1), minlength=batch * plan.out_nnz
+        )
+        return _finish(flat.reshape(batch, plan.out_nnz), out)
+
+    def numeric_raw(self, src_a, src_b, scatter, out_nnz, data_a, data_b,
+                    out=None):
+        plan = SpGEMMPlan(
+            np.asarray(src_a, dtype=np.int64),
+            np.asarray(src_b, dtype=np.int64),
+            np.asarray(scatter, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.arange(out_nnz, dtype=np.int64),
+            (1, max(out_nnz, 1)),
+        )
+        return self.numeric(plan, data_a, data_b, out=out)
+
+
+def _build_numba_numeric():
+    """JIT-compile the sequential accumulation loop (import deferred)."""
+    import numba  # gated: optional dependency
+
+    # No fastmath, no parallel: per output slot the products accumulate
+    # in expansion order starting from 0.0 — exactly the semantics of
+    # the reference's np.bincount, hence bitwise-identical results
+    # (including the normalization of -0.0 contributions to +0.0).
+    @numba.njit(cache=False, fastmath=False)
+    def _numeric(src_a, src_b, scatter, data_a, data_b, out):  # pragma: no cover
+        out[:, :] = 0.0
+        batch = out.shape[0]
+        shared_a = data_a.shape[0] == 1
+        shared_b = data_b.shape[0] == 1
+        for b in range(batch):
+            ia = 0 if shared_a else b
+            ib = 0 if shared_b else b
+            row_a = data_a[ia]
+            row_b = data_b[ib]
+            for i in range(src_a.shape[0]):
+                out[b, scatter[i]] += row_a[src_a[i]] * row_b[src_b[i]]
+        return out
+
+    return _numeric
+
+
+class NumbaKernel(ScanKernel):
+    """Numba-compiled sequential accumulation loop.
+
+    Truly allocation-free when handed ``out=``: the loop writes the
+    segment sums straight into the caller's buffer (the process
+    backend's shared-memory segment, for one).  Accumulation order per
+    output slot matches the reference's ``np.bincount`` exactly.
+    """
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self, jit_numeric) -> None:
+        self._numeric = jit_numeric
+
+    def numeric(self, plan, data_a, data_b, arena=None, out=None):
+        return self.numeric_raw(
+            plan.src_a, plan.src_b, plan.scatter, plan.out_nnz,
+            data_a, data_b, out=out,
+        )
+
+    def numeric_raw(self, src_a, src_b, scatter, out_nnz, data_a, data_b,
+                    out=None):
+        data_a = np.ascontiguousarray(_as_batched(data_a))
+        data_b = np.ascontiguousarray(_as_batched(data_b))
+        batch = max(data_a.shape[0], data_b.shape[0])
+        if out is None:
+            out = np.empty((batch, out_nnz), dtype=np.float64)
+        self._numeric(
+            np.ascontiguousarray(src_a, dtype=np.int64),
+            np.ascontiguousarray(src_b, dtype=np.int64),
+            np.ascontiguousarray(scatter, dtype=np.int64),
+            data_a,
+            data_b,
+            out,
+        )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+_REFERENCE = NumPyReferenceKernel()
+_FAST_FALLBACK = FastNumPyKernel()
+
+_numba_kernel: Optional[NumbaKernel] = None
+_numba_failed = False
+_numba_lock = threading.Lock()
+
+
+def _resolve_numba() -> ScanKernel:
+    """The kernel behind the ``"numba"`` name: the JIT build when Numba
+    imports, else the pure-NumPy fast path (``compiled=False``)."""
+    global _numba_kernel, _numba_failed
+    if _numba_kernel is not None:
+        return _numba_kernel
+    if _numba_failed:
+        return _FAST_FALLBACK
+    with _numba_lock:
+        if _numba_kernel is not None:
+            return _numba_kernel
+        if not _numba_failed:
+            try:
+                _numba_kernel = NumbaKernel(_build_numba_numeric())
+            except ImportError:
+                _numba_failed = True
+    return _numba_kernel if _numba_kernel is not None else _FAST_FALLBACK
+
+
+def numba_available() -> bool:
+    """Whether the ``"numba"`` name resolves to a compiled build."""
+    return _resolve_numba().compiled
+
+
+def resolve_kernel_name(name: Optional[str] = None) -> str:
+    """Validate an explicit kernel name, or resolve the ambient default.
+
+    ``None`` follows the same ladder as every other scan knob: a
+    surrounding :func:`repro.configure` override, then
+    ``$REPRO_SCAN_KERNEL``, then :data:`DEFAULT_KERNEL` — delegated to
+    :meth:`repro.config.ScanConfig.resolve`, the single resolution
+    point.
+    """
+    if name is None:
+        from repro.config.scan_config import ScanConfig
+
+        return ScanConfig().resolve().kernel
+    if name not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {name!r}")
+    return name
+
+
+def get_kernel(kernel: Union[str, ScanKernel, None] = None) -> ScanKernel:
+    """Resolve a kernel spec to a ready :class:`ScanKernel`.
+
+    * ``None`` → the ambient default (see :func:`resolve_kernel_name`);
+    * a :class:`ScanKernel` instance → returned unchanged;
+    * ``"numpy"`` → the bitwise reference;
+    * ``"numba"`` → the compiled build, or the pure-NumPy fast path
+      when Numba is not installed (never raises for a missing Numba —
+      check ``.compiled`` to know which one answered).
+    """
+    if isinstance(kernel, ScanKernel):
+        return kernel
+    if kernel is not None and not isinstance(kernel, str):
+        raise TypeError(
+            f"kernel must be a name from {KERNELS}, a ScanKernel, or None; "
+            f"got {type(kernel).__name__}"
+        )
+    name = resolve_kernel_name(kernel)
+    if name == "numba":
+        return _resolve_numba()
+    return _REFERENCE

@@ -71,6 +71,10 @@ class SpGEMMPlan:
         (2 × expanded products: one multiply + one add each).
     """
 
+    # __weakref__ lets kernel arenas key scratch workspaces weakly by
+    # plan (repro.scan.kernels.KernelArena); _out_pattern caches the
+    # output-pattern CSRMatrix so steady-state numeric calls allocate
+    # no fresh CSR objects.
     __slots__ = (
         "src_a",
         "src_b",
@@ -79,6 +83,8 @@ class SpGEMMPlan:
         "out_indices",
         "out_shape",
         "flops",
+        "_out_pattern",
+        "__weakref__",
     )
 
     def __init__(
@@ -97,10 +103,29 @@ class SpGEMMPlan:
         self.out_indices = out_indices
         self.out_shape = out_shape
         self.flops = 2 * int(len(src_a))
+        self._out_pattern: Optional[CSRMatrix] = None
 
     @property
     def out_nnz(self) -> int:
         return int(len(self.out_indices))
+
+    def out_pattern(self) -> CSRMatrix:
+        """The output CSR *pattern* (placeholder-ones data), built once.
+
+        Plans are cached and long-lived; sharing one pattern object
+        across every product of a training run is what keeps the
+        steady-state numeric phase free of CSR allocations (a benign
+        build race under thread backends — last writer wins, both
+        objects are identical).
+        """
+        if self._out_pattern is None:
+            self._out_pattern = CSRMatrix(
+                self.out_indptr,
+                self.out_indices,
+                np.ones(self.out_nnz),
+                self.out_shape,
+            )
+        return self._out_pattern
 
     def execute(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         """Numeric phase only: gather, multiply, segment-sum."""
@@ -109,7 +134,12 @@ class SpGEMMPlan:
         return CSRMatrix(self.out_indptr, self.out_indices, out_data, self.out_shape)
 
     def execute_batched(
-        self, data_a: np.ndarray, data_b: np.ndarray
+        self,
+        data_a: np.ndarray,
+        data_b: np.ndarray,
+        kernel=None,
+        workspace=None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Numeric phase for a batch of value arrays sharing the patterns.
 
@@ -117,10 +147,24 @@ class SpGEMMPlan:
         ``data_b``.  Returns output values of shape (B, out_nnz).  This
         is how BPPSA multiplies per-sample Jacobians that share one
         deterministic sparsity pattern with a *single* symbolic plan.
+
+        ``kernel`` selects the numeric implementation — a
+        :class:`~repro.scan.kernels.ScanKernel` or ``None`` for the
+        reference (every kernel is bitwise-identical to it);
+        ``workspace`` is the :class:`~repro.scan.kernels.KernelArena`
+        supplying preallocated scratch; ``out`` receives the result in
+        place when given (caller-owned, never arena storage).
         """
-        return spgemm_numeric_batched(
-            self.src_a, self.src_b, self.scatter, self.out_nnz, data_a, data_b
-        )
+        if kernel is None:
+            result = spgemm_numeric_batched(
+                self.src_a, self.src_b, self.scatter, self.out_nnz,
+                data_a, data_b,
+            )
+            if out is None:
+                return result
+            out[...] = result
+            return out
+        return kernel.numeric(self, data_a, data_b, arena=workspace, out=out)
 
 
 def spgemm_numeric_batched(

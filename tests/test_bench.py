@@ -193,6 +193,75 @@ class TestCompare:
         assert compare_main([str(good), str(missing_file)]) == 2
 
 
+class TestKernelAxis:
+    """The --kernel sweep axis and its hard schema gate."""
+
+    def test_kernel_sweep_records_per_kernel(self):
+        records = run_bench(
+            Scale.SMOKE,
+            backends=["serial"],
+            artifacts=["sparse_scan", "table2_devices"],
+            sparse_modes=("on",),
+            kernel_modes=("numpy", "numba"),
+        )
+        keys = {(r.artifact, r.backend) for r in records}
+        assert keys == {
+            ("sparse_scan", "serial[sparse=on][kernel=numpy]"),
+            ("sparse_scan", "serial[sparse=on][kernel=numba]"),
+            ("table2_devices", NO_BACKEND),  # not kernel-sensitive
+        }
+        for r in records:
+            validate_record(r.to_dict())
+            if r.artifact == "sparse_scan":
+                assert r.config["kernel"] in ("numpy", "numba")
+
+    def test_kernel_axis_without_sparse_axis(self):
+        records = run_bench(
+            Scale.SMOKE,
+            backends=["serial"],
+            artifacts=["parallel_backends"],
+            kernel_modes=("numpy",),
+        )
+        assert [r.backend for r in records] == ["serial[kernel=numpy]"]
+
+    def test_empty_kernel_modes_rejected(self):
+        with pytest.raises(ValueError, match="kernel_modes"):
+            run_bench(
+                Scale.SMOKE,
+                backends=["serial"],
+                artifacts=["sparse_scan"],
+                kernel_modes=(),
+            )
+
+    def test_unknown_axis_in_backend_label_is_schema_error(self):
+        rec = _record(backend="serial[kernel=numpy]").to_dict()  # known: fine
+        bad = copy.deepcopy(rec)
+        bad["backend"] = "serial[quantum=on]"
+        with pytest.raises(SchemaError, match="unknown benchmark axis"):
+            validate_record(bad)
+        bad["backend"] = "serial[kernel=numpy"  # unterminated group
+        with pytest.raises(SchemaError, match="malformed axis suffix"):
+            validate_record(bad)
+        bad["backend"] = "serial[kernel]"  # no value
+        with pytest.raises(SchemaError, match="malformed axis suffix"):
+            validate_record(bad)
+
+    def test_unknown_axis_baseline_gates_compare_at_exit_2(
+        self, tmp_path, capsys
+    ):
+        """A baseline written by a newer sweep (unknown axis) must be a
+        hard load error, not a silent no-match comparison."""
+        good = write_results([_record()], tmp_path / "a")
+        stale = tmp_path / "b" / "bench.json"
+        doc = json.loads(good.read_text())
+        doc["records"][0]["backend"] = "serial[future_axis=1]"
+        stale.parent.mkdir()
+        stale.write_text(json.dumps(doc))
+        assert compare_main([str(stale), str(good)]) == 2
+        out = capsys.readouterr().out
+        assert "unknown benchmark axis" in out and "regenerate" in out
+
+
 class TestMeasure:
     def test_measure_returns_result_and_stats(self):
         calls = []

@@ -1,9 +1,19 @@
-"""Hypothesis property tests for the sparse engine."""
+"""Hypothesis property tests for the sparse engine and kernel layer."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.scan import (
+    GradientVector,
+    KernelArena,
+    ScanContext,
+    SparseJacobian,
+    blelloch_scan,
+    get_kernel,
+)
+from repro.scan.kernels import FastNumPyKernel
 from repro.sparse import CSRMatrix, build_spgemm_plan, spgemm, spgemm_flops
 
 dim = st.integers(min_value=1, max_value=12)
@@ -79,6 +89,128 @@ def test_matvec_linearity(m, n, seed):
         2.0 * mat.matvec(x) + mat.matvec(y),
         atol=1e-10,
     )
+
+
+# ---------------------------------------------------------------------------
+# kernel layer properties (see DESIGN.md § Kernel layer)
+# ---------------------------------------------------------------------------
+def _plan_bytes(plan):
+    """Byte snapshot of every array a numeric kernel may touch."""
+    return tuple(
+        arr.tobytes()
+        for arr in (
+            plan.src_a,
+            plan.src_b,
+            plan.scatter,
+            plan.out_indptr,
+            plan.out_indices,
+        )
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=dim, k=dim, n=dim, seed=st.integers(0, 2**16))
+def test_symbolic_pattern_determinism(m, k, n, seed):
+    """Rebuilding a plan from the same patterns is byte-deterministic."""
+    a = CSRMatrix.from_dense(make(seed, m, k, 0.4))
+    b = CSRMatrix.from_dense(make(seed + 1, k, n, 0.4))
+    p1, p2 = build_spgemm_plan(a, b), build_spgemm_plan(a, b)
+    assert _plan_bytes(p1) == _plan_bytes(p2)
+    assert p1.out_shape == p2.out_shape and p1.flops == p2.flops
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=dim, k=dim, n=dim, batch=st.integers(1, 3), seed=st.integers(0, 2**16))
+def test_numeric_reuse_never_mutates_plan(m, k, n, batch, seed):
+    """Numeric calls (any kernel, with or without arena) leave the
+    symbolic plan bit-for-bit untouched — the reuse contract."""
+    rng = np.random.default_rng(seed)
+    a = CSRMatrix.from_dense(make(seed, m, k, 0.5))
+    b = CSRMatrix.from_dense(make(seed + 1, k, n, 0.5))
+    plan = build_spgemm_plan(a, b)
+    before = _plan_bytes(plan)
+    arena = KernelArena()
+    for kern in (get_kernel("numpy"), get_kernel("numba"), FastNumPyKernel()):
+        for _ in range(2):
+            kern.numeric(
+                plan,
+                rng.standard_normal((batch, a.nnz)),
+                rng.standard_normal((batch, b.nnz)),
+                arena=arena,
+            )
+    assert _plan_bytes(plan) == before
+
+
+def test_arena_workspaces_actually_reused():
+    """Steady-state numeric calls are served from existing buffers.
+
+    Targets :class:`FastNumPyKernel` directly: it is the arena's one
+    consumer (the compiled Numba build writes straight into ``out=``
+    and legitimately ignores scratch), so the assertion holds whether
+    or not Numba is installed.
+    """
+    rng = np.random.default_rng(3)
+    a = CSRMatrix.from_dense(make(3, 10, 10, 0.5))
+    b = CSRMatrix.from_dense(make(4, 10, 10, 0.5))
+    plan = build_spgemm_plan(a, b)
+    arena = KernelArena()
+    kern = FastNumPyKernel()
+
+    def run(batch):
+        kern.numeric(
+            plan,
+            rng.standard_normal((batch, a.nnz)),
+            rng.standard_normal((batch, b.nnz)),
+            arena=arena,
+        )
+
+    run(4)
+    assert (arena.allocations, arena.reuses) == (1, 0)
+    for _ in range(5):
+        run(4)
+    assert (arena.allocations, arena.reuses) == (1, 5)
+    run(2)  # smaller batches fit the warmed buffers
+    assert (arena.allocations, arena.reuses) == (1, 6)
+    run(6)  # growth reallocates exactly once
+    assert arena.allocations == 2
+    run(6)
+    assert arena.allocations == 2
+
+
+@pytest.fixture
+def csr_alloc_counter(monkeypatch):
+    """Counts every ``CSRMatrix`` constructed while the test runs."""
+    counts = {"n": 0}
+    original = CSRMatrix.__init__
+
+    def counting(self, *args, **kwargs):
+        counts["n"] += 1
+        original(self, *args, **kwargs)
+
+    monkeypatch.setattr(CSRMatrix, "__init__", counting)
+    return counts
+
+
+def test_steady_state_scan_allocates_no_csr(csr_alloc_counter):
+    """After one warm-up scan (plans + output patterns built and
+    cached), further scans over the same patterns with fresh values
+    construct **zero** new ``CSRMatrix`` objects."""
+    rng = np.random.default_rng(9)
+    n, batch = 12, 3
+    patterns = [CSRMatrix.from_dense(make(s, n, n, 0.3)) for s in range(4)]
+
+    def items():
+        its = [GradientVector(rng.standard_normal((batch, n)))]
+        for pat in patterns:
+            its.append(SparseJacobian(pat, rng.standard_normal((batch, pat.nnz))))
+        return its
+
+    ctx = ScanContext(sparse="on", kernel="numba")
+    blelloch_scan(items(), ctx.op)  # warm-up: symbolic phase + patterns
+    warm = csr_alloc_counter["n"]
+    for _ in range(3):
+        blelloch_scan(items(), ctx.op)  # steady state: numeric phase only
+    assert csr_alloc_counter["n"] == warm
 
 
 @settings(max_examples=25, deadline=None)

@@ -71,6 +71,46 @@ class TestSpGEMM:
             ref = plan.execute(a.with_data(data_a[i]), b.with_data(data_b[i]))
             np.testing.assert_allclose(out[i], ref.data, atol=1e-12)
 
+    def test_empty_intersection_rows_are_explicit_zero_length(self, rng):
+        """Rows whose gathers all miss must stay in the pattern as
+        explicit zero-length rows — dropping them would desynchronize
+        ``out_indptr`` from the output shape (regression, either way
+        the row goes empty: A-row empty, or A-row nonempty but every
+        touched B-row empty)."""
+        A = np.zeros((3, 3))
+        A[0, 1] = 2.0  # row 0: entries exist, but B row 1 is empty
+        A[2, 2] = 3.0  # row 2: survives through B row 2
+        B = np.zeros((3, 4))
+        B[2, 0] = 1.0
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        plan = build_spgemm_plan(a, b)
+        # row 0 (empty intersection) and row 1 (empty A-row) are both
+        # explicit zero-length rows of the output pattern
+        assert plan.out_indptr[0] == plan.out_indptr[1] == plan.out_indptr[2]
+        assert len(plan.out_indptr) == A.shape[0] + 1
+        assert plan.out_indptr[-1] == plan.out_nnz == 1
+        c = plan.execute(a, b)
+        c.validate()
+        np.testing.assert_array_equal(c.to_dense(), A @ B)
+
+    def test_empty_intersection_rows_via_kernels(self, rng):
+        """The numeric kernels agree bitwise on plans with empty rows."""
+        from repro.scan import KERNELS, get_kernel
+
+        A = np.zeros((4, 4))
+        A[1, 0] = 1.5
+        A[3, 2] = -2.0
+        B = np.zeros((4, 2))
+        B[2, 1] = 4.0  # only A row 3 intersects anything
+        a, b = CSRMatrix.from_dense(A), CSRMatrix.from_dense(B)
+        plan = build_spgemm_plan(a, b)
+        da = rng.standard_normal((2, a.nnz))
+        db = rng.standard_normal((2, b.nnz))
+        ref = plan.execute_batched(da, db)
+        for name in KERNELS:
+            got = plan.execute_batched(da, db, kernel=get_kernel(name))
+            assert got.tobytes() == ref.tobytes()
+
     def test_execute_batched_broadcasts_shared_side(self, rng):
         A = random_sparse(rng, 4, 4)
         B = random_sparse(rng, 4, 4)
