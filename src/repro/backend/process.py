@@ -50,6 +50,7 @@ execution rather than failing the scan.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import resource_tracker, shared_memory
@@ -60,6 +61,25 @@ import numpy as np
 from repro.backend.executor import LevelTask, ScanExecutor
 from repro.scan.elements import DenseJacobian, ScanContext, SparseJacobian
 from repro.scan.kernels import get_kernel
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink one parent-owned segment, swallowing errors.
+
+    ``close`` and ``unlink`` are attempted independently: a failed
+    ``close`` (already closed, interpreter shutdown) must not skip the
+    ``unlink`` that actually frees the backing memory — the parent is
+    the single unlink point, so a skipped unlink is a leak for the
+    lifetime of the process (and of ``/dev/shm`` on an abrupt death).
+    """
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -179,6 +199,7 @@ class ProcessPoolScanExecutor(ScanExecutor):
         self.min_offload_mnk = min_offload_mnk
         self._pool: Optional[ProcessPoolExecutor] = None
         self._broken = False
+        self._close_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
@@ -224,25 +245,36 @@ class ProcessPoolScanExecutor(ScanExecutor):
         return plan
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            # Start the shm resource tracker before forking so workers
-            # inherit it; their attach-registrations then land in the
-            # parent's tracker (a set — idempotent) instead of spawning
-            # per-child trackers that would fight over unlinking.
-            resource_tracker.ensure_running()
-            try:
-                ctx = mp.get_context("fork")
-            except ValueError:  # platform without fork
-                ctx = mp.get_context()
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.num_workers, mp_context=ctx
-            )
-        return self._pool
+        # Under the close lock: concurrent run_level calls (a serving
+        # layer drives one executor from several worker threads) must
+        # not each fork a pool and leak all but one.
+        with self._close_lock:
+            if self._pool is None:
+                # Start the shm resource tracker before forking so workers
+                # inherit it; their attach-registrations then land in the
+                # parent's tracker (a set — idempotent) instead of spawning
+                # per-child trackers that would fight over unlinking.
+                resource_tracker.ensure_running()
+                try:
+                    ctx = mp.get_context("fork")
+                except ValueError:  # platform without fork
+                    ctx = mp.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers, mp_context=ctx
+                )
+            return self._pool
 
     @staticmethod
     def _share(arr: np.ndarray) -> shared_memory.SharedMemory:
         shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
-        np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        try:
+            np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+        except BaseException:
+            # The segment was created but its name never reached the
+            # caller's cleanup list — unlink here or it leaks until the
+            # resource tracker reaps it at interpreter exit.
+            _destroy_segment(shm)
+            raise
         return shm
 
     # ------------------------------------------------------------------
@@ -378,16 +410,26 @@ class ProcessPoolScanExecutor(ScanExecutor):
             )
             return results
         finally:
+            # Runs on success, on the degrade branch, and on a
+            # propagating ⊙ error alike: every segment this level
+            # created is closed *and* unlinked exactly once.
             for shm in segments:
-                try:
-                    shm.close()
-                    shm.unlink()
-                except Exception:
-                    pass
+                _destroy_segment(shm)
         return results
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the worker pool down.  Idempotent and thread-safe: a
+        server retiring an engine may race a scan's failure-path
+        ``close()``, and both may run after the pool already broke —
+        every combination releases the pool exactly once and returns
+        quietly."""
+        with self._close_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:
+                # A pool whose workers already died can raise on
+                # shutdown; the reference is dropped either way.
+                pass

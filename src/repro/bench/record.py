@@ -201,6 +201,13 @@ _RECORD_FIELDS: Dict[str, Any] = {
 #: is part of the schema, not an optional extra).
 _REQUIRED_ENV_KEYS = ("python", "numpy", "cpu_count")
 
+#: Artifacts with a *required* metrics contract: the serving benchmark
+#: is meaningless without its latency/throughput summary, so records
+#: claiming to be ``serve_throughput`` must carry these numeric metric
+#: fields (``cache_hit_rate`` additionally bounded to [0, 1]).
+SERVE_ARTIFACT = "serve_throughput"
+SERVE_METRIC_FIELDS = ("p50_ms", "p99_ms", "jobs_per_s", "cache_hit_rate")
+
 #: Sweep axes a backend label may carry as ``[key=value]`` suffixes.
 #: A baseline containing an axis this reader does not know is a *schema*
 #: mismatch, not a missing measurement: the regression gate must refuse
@@ -294,3 +301,25 @@ def validate_record(d: Mapping[str, Any]) -> None:
     for key in _REQUIRED_ENV_KEYS:
         if key not in d["environment"]:
             raise SchemaError(f"record: environment missing key {key!r}")
+    if d["artifact"] == SERVE_ARTIFACT:
+        _validate_serve_metrics(d["metrics"])
+
+
+def _validate_serve_metrics(metrics: Mapping[str, Any]) -> None:
+    for name in SERVE_METRIC_FIELDS:
+        if name not in metrics:
+            raise SchemaError(
+                f"record: {SERVE_ARTIFACT} metrics missing {name!r} "
+                f"(required: {', '.join(SERVE_METRIC_FIELDS)})"
+            )
+        if not _is_number(metrics[name]) or metrics[name] < 0:
+            raise SchemaError(
+                f"record: {SERVE_ARTIFACT} metric {name!r} must be a "
+                f"non-negative number, got {metrics[name]!r}"
+            )
+    rate = metrics["cache_hit_rate"]
+    if rate > 1:
+        raise SchemaError(
+            f"record: {SERVE_ARTIFACT} cache_hit_rate must be in [0, 1], "
+            f"got {rate!r}"
+        )

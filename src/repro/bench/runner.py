@@ -136,7 +136,10 @@ class BenchArtifact:
     wall-clock a scan backend can change; ``sparse_sensitive`` marks
     the ones the dense-vs-sparse dispatch flows through;
     ``kernel_sensitive`` marks the scan microbenchmarks whose ⊙
-    compositions reach the numeric-kernel layer.
+    compositions reach the numeric-kernel layer.  ``metrics_fn``, when
+    set, summarizes the final timed run's rows into the record's
+    ``metrics`` dict (e.g. the serving benchmark's latency
+    percentiles).
     """
 
     name: str
@@ -147,6 +150,9 @@ class BenchArtifact:
     backend_sensitive: bool = False
     sparse_sensitive: bool = False
     kernel_sensitive: bool = False
+    metrics_fn: Optional[
+        Callable[[List[Dict[str, Any]]], Dict[str, Any]]
+    ] = None
 
 
 def measurement_config(
@@ -264,6 +270,26 @@ def _sparse_scan_rows(
     ]
 
 
+def _serve_throughput_rows(
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
+) -> List[Dict[str, Any]]:
+    """The serving-plane benchmark: N concurrent clients submitting a
+    mixed-spec job stream to an :class:`~repro.serve.EngineServer` on
+    the given backend (see :mod:`repro.serve.loadgen`)."""
+    from repro.serve.loadgen import run_loadgen
+
+    return run_loadgen(scale=scale, backend=spec or "serial", kernel=kernel)
+
+
+def _serve_throughput_metrics(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    from repro.serve.loadgen import serve_metrics
+
+    return serve_metrics(rows)
+
+
 #: Every benchmarkable artifact, in run order (the 13 paper artifacts of
 #: :mod:`repro.experiments.run_all` plus the scan microbenchmark).
 ARTIFACTS: List[BenchArtifact] = [
@@ -299,6 +325,12 @@ ARTIFACTS: List[BenchArtifact] = [
         backend_sensitive=True,
         sparse_sensitive=True,
         kernel_sensitive=True,
+    ),
+    BenchArtifact(
+        "serve_throughput",
+        _serve_throughput_rows,
+        backend_sensitive=True,
+        metrics_fn=_serve_throughput_metrics,
     ),
 ]
 
@@ -436,6 +468,11 @@ def run_bench(
                         timing=stats,
                         environment=env,
                         num_rows=len(rows),
+                        metrics=(
+                            artifact.metrics_fn(rows)
+                            if artifact.metrics_fn is not None
+                            else {}
+                        ),
                         config=cfg_dict,
                     )
                     records.append(record)

@@ -24,7 +24,9 @@ MIGRATION.md for the old-kwarg mapping.
 
 from repro.config.scan_config import (
     ALGORITHMS,
+    DEFAULT_SHARED_CACHE_MAXSIZE,
     PATTERN_CACHE_POLICIES,
+    SHARED_CACHE_ENV_VAR,
     ScanConfig,
     shared_pattern_cache,
 )
@@ -43,7 +45,9 @@ from repro.config.facade import (
 
 __all__ = [
     "ALGORITHMS",
+    "DEFAULT_SHARED_CACHE_MAXSIZE",
     "PATTERN_CACHE_POLICIES",
+    "SHARED_CACHE_ENV_VAR",
     "ScanConfig",
     "shared_pattern_cache",
     "active_overlays",

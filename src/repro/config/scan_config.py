@@ -73,17 +73,56 @@ _SPEC_KEYS = ("sparse", "up", "densify", "tol", "cache", "kernel")
 _SHARED_PATTERN_CACHE = None
 _SHARED_PATTERN_CACHE_LOCK = threading.Lock()
 
+#: Environment variable bounding the shared plan cache (entry count).
+SHARED_CACHE_ENV_VAR = "REPRO_SCAN_SHARED_CACHE"
+
+#: Default bound of the process-wide shared plan cache.  Private
+#: (per-engine) caches stay unbounded — they live and die with one
+#: model's fixed pattern set — but the shared cache serves a whole
+#: process (the :mod:`repro.serve` server, every ``cache=shared``
+#: engine) across unbounded pattern churn, so it must be an LRU.
+DEFAULT_SHARED_CACHE_MAXSIZE = 256
+
+
+def _shared_cache_maxsize() -> Optional[int]:
+    raw = os.environ.get(SHARED_CACHE_ENV_VAR)
+    if not raw:
+        return DEFAULT_SHARED_CACHE_MAXSIZE
+    if raw.strip().lower() in ("none", "unbounded", "0"):
+        return None
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {SHARED_CACHE_ENV_VAR}={raw!r}: expected a positive "
+            'integer entry bound, or "none"/"0" for unbounded'
+        ) from None
+    if size < 1:
+        raise ValueError(
+            f"invalid {SHARED_CACHE_ENV_VAR}={raw!r}: bound must be >= 1"
+        )
+    return size
+
 
 def shared_pattern_cache():
     """The process-wide :class:`~repro.sparse.PatternCache` singleton
     (``pattern_cache="shared"``): SpGEMM symbolic work amortizes across
-    every engine that opts in, not just across iterations of one."""
+    every engine that opts in, not just across iterations of one.
+
+    The singleton is a **bounded LRU** (``$REPRO_SCAN_SHARED_CACHE``
+    entries, default :data:`DEFAULT_SHARED_CACHE_MAXSIZE`; the variable
+    is read once, when the cache is first built) so that a long-lived
+    server churning through distinct Jacobian patterns cannot grow it
+    without bound; hit/miss/eviction counters are exposed through
+    :meth:`~repro.sparse.PatternCache.stats` and surfaced by
+    ``EngineServer.stats()``.
+    """
     global _SHARED_PATTERN_CACHE
     with _SHARED_PATTERN_CACHE_LOCK:
         if _SHARED_PATTERN_CACHE is None:
             from repro.sparse import PatternCache
 
-            _SHARED_PATTERN_CACHE = PatternCache()
+            _SHARED_PATTERN_CACHE = PatternCache(maxsize=_shared_cache_maxsize())
         return _SHARED_PATTERN_CACHE
 
 

@@ -19,7 +19,8 @@ of removing cuSPARSE's per-call nnz-counting and index-merging.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -258,20 +259,48 @@ class PatternCache:
     bytes), not their values: two iterations with identical Jacobian
     structure share a plan, which is the paper's deterministic-sparsity
     optimization in library form.
+
+    With ``maxsize`` set, the cache is a true **LRU**: every hit
+    refreshes the entry's recency, and inserting beyond the bound
+    evicts the least-recently-used plan (counted in ``evictions``).
+    A long-lived process — the :mod:`repro.serve` engine server above
+    all — churns through distinct Jacobian patterns indefinitely, so
+    the process-wide shared cache must shed cold plans instead of
+    growing without bound.  Evicting a plan also releases its
+    :class:`~repro.scan.kernels.KernelArena` scratch: arenas key
+    workspaces *weakly* by plan, so dropping the last strong reference
+    frees the workspace buffers with it.
+
+    ``maxsize=None`` (the default) keeps the historical unbounded
+    behaviour for private, engine-lifetime caches.
     """
 
     def __init__(self, maxsize: Optional[int] = None) -> None:
-        self._plans: Dict[tuple, SpGEMMPlan] = {}
+        if maxsize is not None:
+            if not isinstance(maxsize, int) or isinstance(maxsize, bool):
+                raise TypeError(
+                    f"maxsize must be None or an int, got {type(maxsize).__name__}"
+                )
+            if maxsize < 1:
+                raise ValueError(f"maxsize must be None or >= 1, got {maxsize!r}")
+        self._plans: "OrderedDict[tuple, SpGEMMPlan]" = OrderedDict()
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         # plan_for may be called concurrently from a thread-backend
         # scan level; the symbolic phase is pure, so the lock only
-        # guards the check-then-insert and the counters.
+        # guards the check-then-insert, the recency order, and the
+        # counters.
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
+
+    def keys(self) -> Tuple[tuple, ...]:
+        """Cached pattern keys, least-recently-used first."""
+        with self._lock:
+            return tuple(self._plans)
 
     def plan_for(self, a: CSRMatrix, b: CSRMatrix) -> SpGEMMPlan:
         key = (a.pattern_key(), b.pattern_key())
@@ -279,22 +308,46 @@ class PatternCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self.hits += 1
+                self._plans.move_to_end(key)
                 return plan
             self.misses += 1
         plan = build_spgemm_plan(a, b)
         with self._lock:
             existing = self._plans.get(key)
             if existing is not None:
+                self._plans.move_to_end(key)
                 return existing  # another thread built it first
-            if self.maxsize is None or len(self._plans) < self.maxsize:
-                self._plans[key] = plan
+            self._plans[key] = plan
+            if self.maxsize is not None:
+                while len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+                    self.evictions += 1
         return plan
 
     def multiply(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         """``A @ B`` using (and populating) the plan cache."""
         return self.plan_for(a, b).execute(a, b)
 
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: size/bound, hits, misses, evictions, hit rate.
+
+        This is what ``EngineServer.stats()`` surfaces for the shared
+        plan cache; ``hit_rate`` is 0.0 before any lookup.
+        """
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
+
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0

@@ -430,6 +430,118 @@ class TestProcessExecutor:
             assert ex._pool is None
 
 
+class TestProcessSharedMemoryHygiene:
+    """Regression tests for the shared-memory leak on mid-job failure:
+    every segment a level creates must be closed *and* unlinked no
+    matter where the offload path dies, and ``close()`` must be safe
+    to call from several threads, repeatedly."""
+
+    @staticmethod
+    def _tracked_share(created):
+        original = ProcessPoolScanExecutor._share
+
+        def share(arr):
+            shm = original(arr)
+            created.append(shm.name)
+            return shm
+
+        return staticmethod(share)
+
+    @staticmethod
+    def _assert_unlinked(names):
+        from multiprocessing import shared_memory
+
+        assert names, "test never created a segment"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_successful_level_unlinks_every_segment(self, rng, monkeypatch):
+        created = []
+        monkeypatch.setattr(
+            ProcessPoolScanExecutor, "_share", self._tracked_share(created)
+        )
+        items = chain(rng, 8, h=8)
+        with ProcessPoolScanExecutor(1, min_offload_mnk=0) as ex:
+            out = blelloch_scan(items, ScanContext().op, executor=ex)
+        ref = blelloch_scan(items, ScanContext().op)
+        for p in range(1, 9):
+            np.testing.assert_array_equal(out[p].data, ref[p].data)
+        self._assert_unlinked(created)
+
+    def test_share_failure_mid_level_unlinks_earlier_segments(
+        self, rng, monkeypatch
+    ):
+        """Die while sharing the *second* task's operands: the first
+        task's already-created segments must still be unlinked, results
+        must fall back to inline execution bitwise-intact, and the
+        executor degrades instead of wedging."""
+        created = []
+        original = ProcessPoolScanExecutor._share
+        calls = {"n": 0}
+
+        def failing_share(arr):
+            calls["n"] += 1
+            if calls["n"] == 3:  # first task shares 2 operands, then dies
+                raise RuntimeError("synthetic shm failure")
+            shm = original(arr)
+            created.append(shm.name)
+            return shm
+
+        monkeypatch.setattr(
+            ProcessPoolScanExecutor, "_share", staticmethod(failing_share)
+        )
+        items = chain(rng, 8, h=8)
+        ref = blelloch_scan(items, ScanContext().op)
+        with ProcessPoolScanExecutor(1, min_offload_mnk=0) as ex:
+            with pytest.warns(RuntimeWarning, match="process scan backend"):
+                out = blelloch_scan(items, ScanContext().op, executor=ex)
+            assert ex._broken
+        for p in range(1, 9):
+            np.testing.assert_array_equal(out[p].data, ref[p].data)
+        self._assert_unlinked(created)
+
+    def test_close_is_idempotent_and_thread_safe(self, rng):
+        ex = ProcessPoolScanExecutor(1, min_offload_mnk=0)
+        blelloch_scan(chain(rng, 8, h=8), ScanContext().op, executor=ex)
+        assert ex._pool is not None
+        errors = []
+
+        def closer():
+            try:
+                ex.close()
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert ex._pool is None
+        ex.close()  # and once more after everyone
+
+    def test_concurrent_first_use_builds_one_pool(self, rng):
+        """Racing run_level calls from a serving layer must not each
+        fork a pool and leak all but one."""
+        ex = ProcessPoolScanExecutor(1, min_offload_mnk=0)
+        pools = []
+        barrier = threading.Barrier(4)
+
+        def warm():
+            barrier.wait()
+            pools.append(ex._ensure_pool())
+
+        threads = [threading.Thread(target=warm) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(map(id, pools))) == 1
+        ex.close()
+
+
 def test_level_task_runs_op():
     task = LevelTask(lambda a, b, info: (b, a, info), "A", "B", "i")
     assert task.run() == ("B", "A", "i")

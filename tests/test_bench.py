@@ -312,10 +312,12 @@ class TestRunner:
 
     def test_artifact_catalog_covers_all_paper_artifacts(self):
         names = artifact_names()
-        # 13 experiments + the two scan microbenchmarks
-        assert len(names) == 15
+        # 13 experiments + the two scan microbenchmarks + the serving
+        # benchmark
+        assert len(names) == 16
         assert "parallel_backends" in names
         assert "sparse_scan" in names
+        assert "serve_throughput" in names
 
 
 class TestExperimentDataViewSplit:

@@ -425,6 +425,52 @@ class TestBuildEngine:
         assert a.context.cache is not c.context.cache
 
 
+class TestSharedCacheBound:
+    """The process-wide plan cache is a bounded LRU whose entry bound
+    comes from ``$REPRO_SCAN_SHARED_CACHE`` (read once, at first
+    build)."""
+
+    @pytest.fixture
+    def fresh_singleton(self, monkeypatch):
+        """Force the next shared_pattern_cache() call to rebuild (the
+        real singleton is restored afterwards)."""
+        from repro.config import scan_config
+
+        monkeypatch.setattr(scan_config, "_SHARED_PATTERN_CACHE", None)
+        return monkeypatch
+
+    def test_default_bound(self, fresh_singleton):
+        from repro.config import DEFAULT_SHARED_CACHE_MAXSIZE, SHARED_CACHE_ENV_VAR
+        from repro.config.scan_config import shared_pattern_cache
+
+        fresh_singleton.delenv(SHARED_CACHE_ENV_VAR, raising=False)
+        assert shared_pattern_cache().maxsize == DEFAULT_SHARED_CACHE_MAXSIZE
+
+    def test_env_bound(self, fresh_singleton):
+        from repro.config import SHARED_CACHE_ENV_VAR
+        from repro.config.scan_config import shared_pattern_cache
+
+        fresh_singleton.setenv(SHARED_CACHE_ENV_VAR, "7")
+        assert shared_pattern_cache().maxsize == 7
+
+    @pytest.mark.parametrize("raw", ["none", "unbounded", "0"])
+    def test_env_unbounded(self, fresh_singleton, raw):
+        from repro.config import SHARED_CACHE_ENV_VAR
+        from repro.config.scan_config import shared_pattern_cache
+
+        fresh_singleton.setenv(SHARED_CACHE_ENV_VAR, raw)
+        assert shared_pattern_cache().maxsize is None
+
+    @pytest.mark.parametrize("raw", ["junk", "-3", "1.5"])
+    def test_env_invalid_rejected(self, fresh_singleton, raw):
+        from repro.config import SHARED_CACHE_ENV_VAR
+        from repro.config.scan_config import shared_pattern_cache
+
+        fresh_singleton.setenv(SHARED_CACHE_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=SHARED_CACHE_ENV_VAR):
+            shared_pattern_cache()
+
+
 # ---------------------------------------------------------------------------
 # deprecated densify_threshold= engine kwarg
 # ---------------------------------------------------------------------------

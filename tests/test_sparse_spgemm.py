@@ -162,6 +162,81 @@ class TestPatternCache:
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
 
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_invalid_maxsize_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            PatternCache(maxsize=bad)
+
+    def _distinct_operands(self, n, size=4):
+        """n operand pairs with pairwise-distinct patterns (diagonal
+        shifted by k never collides)."""
+        pairs = []
+        for k in range(n):
+            d = np.zeros((size, size))
+            d[np.arange(size - 1), (np.arange(size - 1) + k) % size] = 1.0
+            m = CSRMatrix.from_dense(d)
+            pairs.append((m, m))
+        return pairs
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = PatternCache(maxsize=2)
+        (a0, b0), (a1, b1), (a2, b2) = self._distinct_operands(3)
+        cache.plan_for(a0, b0)  # key0
+        cache.plan_for(a1, b1)  # key1; order: [key0, key1]
+        cache.plan_for(a0, b0)  # hit refreshes key0; order: [key1, key0]
+        cache.plan_for(a2, b2)  # evicts key1, the LRU entry
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        keys = cache.keys()
+        assert keys[0] == (a0.pattern_key(), b0.pattern_key())  # older
+        assert keys[1] == (a2.pattern_key(), b2.pattern_key())  # newest
+        # key1 is gone: looking it up is a miss, key0 is still a hit
+        misses = cache.misses
+        cache.plan_for(a1, b1)
+        assert cache.misses == misses + 1
+
+    def test_stats_counters(self):
+        cache = PatternCache(maxsize=1)
+        (a0, b0), (a1, b1) = self._distinct_operands(2)
+        cache.plan_for(a0, b0)
+        cache.plan_for(a0, b0)
+        cache.plan_for(a1, b1)  # evicts the first plan
+        s = cache.stats()
+        assert s == {
+            "size": 1,
+            "maxsize": 1,
+            "hits": 1,
+            "misses": 2,
+            "evictions": 1,
+            "hit_rate": 1 / 3,
+        }
+        cache.clear()
+        s = cache.stats()
+        assert s["hits"] == s["misses"] == s["evictions"] == s["size"] == 0
+        assert s["hit_rate"] == 0.0
+
+    def test_eviction_releases_arena_workspace(self):
+        """KernelArena keys scratch by the plan object via weak refs:
+        evicting a plan from the cache must let its workspace go too."""
+        import gc
+        import weakref
+
+        from repro.scan.kernels import KernelArena
+
+        cache = PatternCache(maxsize=1)
+        (a0, b0), (a1, b1) = self._distinct_operands(2)
+        arena = KernelArena()
+        plan = cache.plan_for(a0, b0)
+        arena.workspace(plan, batch=2)
+        ref = weakref.ref(plan)
+        pool = arena._tls.pool
+        assert plan in pool
+        cache.plan_for(a1, b1)  # evicts plan — the cache held the only strong ref
+        del plan
+        gc.collect()
+        assert ref() is None
+        assert len(pool) == 0
+
     def test_multiply_correct(self, rng):
         A = random_sparse(rng, 5, 4)
         B = random_sparse(rng, 4, 6)
