@@ -270,6 +270,96 @@ def _sparse_scan_rows(
     ]
 
 
+#: ``pipeline_scan`` sizes per scale: one RNN workload pipelined across
+#: every (stages, micro-batches, schedule) cell on the swept backend.
+PIPELINE_SCAN_PARAMS = {
+    Scale.SMOKE: {
+        "seq_len": 24,
+        "batch": 8,
+        "input_size": 8,
+        "hidden": 16,
+        "classes": 4,
+        "cells": [(1, 1), (2, 2), (2, 4), (4, 4)],
+    },
+    Scale.PAPER: {
+        "seq_len": 128,
+        "batch": 32,
+        "input_size": 16,
+        "hidden": 64,
+        "classes": 10,
+        "cells": [(1, 1), (2, 4), (4, 8), (8, 8)],
+    },
+}
+
+#: Steady-state cache for ``pipeline_scan``: the classifier and input
+#: batch per scale, so repeated timed calls measure the pipeline (not
+#: model initialization).
+_PIPELINE_SCAN_STATE: Dict[tuple, tuple] = {}
+
+
+def _pipeline_scan_rows(
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
+) -> List[Dict[str, Any]]:
+    """The staged-pipeline benchmark: a full scan-backprop pass of one
+    RNN mini-batch through :class:`~repro.pipeline.StagedRNNBPPSA` for
+    every (stages, micro-batches) cell under both schedules — the
+    measured composition of the scan engine with pipeline parallelism
+    (ROADMAP open item 4)."""
+    from repro.nn.rnn import RNNClassifier
+    from repro.pipeline import SCHEDULES, StagedRNNBPPSA
+
+    cfg = measurement_config(spec, sparse, kernel).resolve()
+    p = PIPELINE_SCAN_PARAMS[scale]
+    state = _PIPELINE_SCAN_STATE.get((scale,))
+    if state is None:
+        rng = np.random.default_rng(0)
+        clf = RNNClassifier(
+            p["input_size"], p["hidden"], p["classes"], rng=rng
+        )
+        x = rng.standard_normal((p["batch"], p["seq_len"], p["input_size"]))
+        targets = rng.integers(0, p["classes"], size=p["batch"])
+        _PIPELINE_SCAN_STATE[(scale,)] = (clf, x, targets)
+    else:
+        clf, x, targets = state
+    stage_cfg = ScanConfig(
+        algorithm="truncated",
+        up_levels=cfg.up_levels,
+        executor=cfg.executor,
+        sparse=cfg.sparse,
+        kernel=cfg.kernel,
+    )
+    rows: List[Dict[str, Any]] = []
+    for stages, micro_batches in p["cells"]:
+        for schedule in SCHEDULES:
+            with StagedRNNBPPSA(
+                clf,
+                stages,
+                micro_batches,
+                schedule=schedule,
+                configs=stage_cfg,
+            ) as engine:
+                engine.compute_gradients(x, targets)
+                stats = engine.last_run_stats
+            rows.append(
+                {
+                    "seq_len": p["seq_len"],
+                    "batch": p["batch"],
+                    "hidden": p["hidden"],
+                    "stages": stages,
+                    "micro_batches": micro_batches,
+                    "schedule": schedule,
+                    "backend": cfg.executor,
+                    "measured_utilization": stats["measured_utilization"],
+                    "scheduled_utilization": stats["scheduled_utilization"],
+                    "peak_jacobian_bytes": max(stats["stage_jacobian_bytes"]),
+                }
+            )
+    return rows
+
+
 def _serve_throughput_rows(
     scale: Scale,
     spec: Optional[str],
@@ -294,7 +384,13 @@ def _serve_throughput_metrics(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
 #: :mod:`repro.experiments.run_all` plus the scan microbenchmark).
 ARTIFACTS: List[BenchArtifact] = [
     BenchArtifact("table2_devices", _experiment(table2_devices)),
-    BenchArtifact("fig3_pipeline", _experiment(fig3_pipeline)),
+    BenchArtifact(
+        # Since PR 8 this artifact also runs a *measured* staged
+        # pipeline per cell, so it sweeps the backend axis.
+        "fig3_pipeline",
+        _experiment(fig3_pipeline),
+        backend_sensitive=True,
+    ),
     BenchArtifact("fig4_schedule", _experiment(fig4_schedule)),
     BenchArtifact("table1_sparsity", _experiment(table1_sparsity)),
     BenchArtifact("fig6_patterns", _experiment(fig6_patterns)),
@@ -331,6 +427,11 @@ ARTIFACTS: List[BenchArtifact] = [
         _serve_throughput_rows,
         backend_sensitive=True,
         metrics_fn=_serve_throughput_metrics,
+    ),
+    BenchArtifact(
+        "pipeline_scan",
+        _pipeline_scan_rows,
+        backend_sensitive=True,
     ),
 ]
 

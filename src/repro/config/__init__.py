@@ -41,6 +41,7 @@ from repro.config.facade import (
     adopt_config,
     build_engine,
     merge_engine_kwargs,
+    stage_configs,
 )
 
 __all__ = [
@@ -57,5 +58,6 @@ __all__ = [
     "adopt_config",
     "build_engine",
     "merge_engine_kwargs",
+    "stage_configs",
     "UNSET",
 ]

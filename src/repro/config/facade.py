@@ -13,7 +13,7 @@ and ``sparse=`` blocks.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Mapping, Union
+from typing import Any, List, Mapping, Optional, Sequence, Union
 
 from repro.config.scan_config import ScanConfig
 
@@ -163,6 +163,41 @@ def build_engine(
         "with features/classifier Sequentials (LeNet-5, VGG-11); got "
         f"{type(model).__name__}"
     )
+
+
+def stage_configs(
+    specs: Union[ScanConfig, str, Mapping[str, Any], None, Sequence[Any]],
+    num_stages: Optional[int] = None,
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> List[ScanConfig]:
+    """Resolve a per-stage :class:`ScanConfig` list for a staged pipeline.
+
+    ``specs`` is either one config-shaped value (anything
+    :meth:`ScanConfig.coerce` accepts) broadcast to ``num_stages``
+    stages, or a sequence with one entry per stage — the PR 5 spec
+    grammar verbatim, so ``["truncated/thread:2", "truncated/serial"]``
+    pins stage 0 to a thread pool and stage 1 to serial.  Every entry
+    runs the full :meth:`ScanConfig.resolve` precedence ladder
+    independently (explicit > :func:`configure` overlay > environment >
+    ``defaults`` > global), so ambient overrides apply uniformly while
+    per-stage specs stay authoritative.  Returns fully resolved
+    configs, ready for :meth:`repro.serve.EnginePool.get_many`.
+    """
+    if isinstance(specs, (list, tuple)):
+        if num_stages is not None and len(specs) != num_stages:
+            raise ValueError(
+                f"got {len(specs)} stage specs for {num_stages} stages"
+            )
+        entries = list(specs)
+    else:
+        if num_stages is None:
+            raise ValueError(
+                "num_stages is required when broadcasting a single spec"
+            )
+        entries = [specs] * num_stages
+    if not entries:
+        raise ValueError("need at least one stage")
+    return [ScanConfig.coerce(entry).resolve(defaults) for entry in entries]
 
 
 def adopt_config(

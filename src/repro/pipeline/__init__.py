@@ -15,19 +15,58 @@ motivation claims (Figure 3's timing diagram, the Θ(L/K + K) memory
 growth, the bubble fraction, staleness counts) are reproducible and the
 space-complexity comparison of Section 3.6 can be computed rather than
 asserted.
+
+Beyond the simulators, :mod:`repro.pipeline.staged` *composes* the scan
+engine with these schedules: :class:`StagedRNNBPPSA` partitions the
+unrolled RNN into K block-aligned stages, runs each stage's backward as
+an independent truncated-scan slice on a pooled
+:class:`~repro.serve.ScanEngine`, and drives the stages with the GPipe
+or PipeDream 1F1B event stream — gradients bitwise-equal to the
+monolithic scan (see the module docstring for the alignment argument),
+with :func:`staged_memory_model` predicting the per-stage Jacobian
+footprint the runner actually measures.
 """
 
-from repro.pipeline.gpipe import GPipeSchedule, gpipe_bubble_fraction, gpipe_memory
+from repro.pipeline.gpipe import (
+    GPipeSchedule,
+    SlotEvent,
+    gpipe_bubble_fraction,
+    gpipe_memory,
+)
 from repro.pipeline.pipedream import PipeDreamSchedule
 from repro.pipeline.naive import NaiveModelParallel
-from repro.pipeline.memory import bppsa_memory, pipeline_memory_sweep
+from repro.pipeline.memory import (
+    bppsa_memory,
+    csr_jacobian_bytes,
+    pipeline_memory_sweep,
+    staged_memory_model,
+)
+from repro.pipeline.partition import (
+    partition_layers,
+    partition_units,
+    validate_partition,
+)
+from repro.pipeline.staged import (
+    SCHEDULES,
+    StagedRNNBPPSA,
+    scan_element_nbytes,
+)
 
 __all__ = [
     "GPipeSchedule",
+    "SlotEvent",
     "gpipe_bubble_fraction",
     "gpipe_memory",
     "PipeDreamSchedule",
     "NaiveModelParallel",
     "bppsa_memory",
+    "csr_jacobian_bytes",
     "pipeline_memory_sweep",
+    "staged_memory_model",
+    "partition_layers",
+    "partition_units",
+    "validate_partition",
+    "SCHEDULES",
+    "StagedRNNBPPSA",
+    "scan_element_nbytes",
 ]

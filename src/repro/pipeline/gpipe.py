@@ -16,7 +16,9 @@ Reproduces the two properties the paper leans on (Section 2.2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
+
+from repro.pipeline.partition import partition_layers, validate_partition
 
 
 @dataclass
@@ -34,9 +36,23 @@ class GPipeSchedule:
 
     Forward: micro-batch m enters stage k at slot ``m + k``.
     Backward: after a full flush, stages drain in reverse order.
+
+    The layer→stage assignment is an explicit partition map
+    (``stage_layers``: one ``(start, end)`` half-open span per device,
+    covering all ``L`` layers) rather than an implicit ``L // K``
+    division — uneven splits used to truncate silently; now every
+    layer is owned by exactly one stage, earlier stages absorb the
+    remainder, and a caller-supplied map is validated for contiguity
+    and coverage.
     """
 
-    def __init__(self, num_layers: int, num_devices: int, num_micro_batches: int):
+    def __init__(
+        self,
+        num_layers: int,
+        num_devices: int,
+        num_micro_batches: int,
+        stage_layers: Optional[Sequence[Tuple[int, int]]] = None,
+    ):
         if num_devices < 1 or num_micro_batches < 1:
             raise ValueError("need at least one device and one micro-batch")
         if num_layers < num_devices:
@@ -44,7 +60,21 @@ class GPipeSchedule:
         self.L = num_layers
         self.K = num_devices
         self.M = num_micro_batches
+        if stage_layers is None:
+            self.stage_layers = partition_layers(num_layers, num_devices)
+        else:
+            self.stage_layers = [tuple(span) for span in stage_layers]
+            if len(self.stage_layers) != num_devices:
+                raise ValueError(
+                    f"stage_layers has {len(self.stage_layers)} spans "
+                    f"for {num_devices} devices"
+                )
+            validate_partition(self.stage_layers, num_layers)
         self.events = self._build()
+
+    def layers_for_stage(self, device: int) -> Tuple[int, int]:
+        """The ``(start, end)`` half-open layer span owned by ``device``."""
+        return self.stage_layers[device]
 
     def _build(self) -> List[SlotEvent]:
         events: List[SlotEvent] = []

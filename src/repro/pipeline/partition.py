@@ -1,0 +1,95 @@
+"""Explicit stage-partition maps for pipeline parallelism.
+
+Every pipeline component that splits ``n`` units (layers, time steps,
+or scan slots) over ``K`` stages must agree on *which* stage owns which
+units — an implicit ``n / K`` division silently truncates uneven
+splits, which is exactly the validation gap this module closes.
+:func:`partition_units` is the single source of truth: a deterministic,
+contiguous, gap-free partition where earlier stages take the remainder,
+with an optional ``block`` granularity so stage boundaries can be
+snapped to a scan's serial-middle block structure (see
+:mod:`repro.pipeline.staged` — boundary alignment is what makes the
+staged backward bitwise-identical to the monolithic truncated scan).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+def partition_units(
+    num_units: int, num_stages: int, block: int = 1
+) -> List[Tuple[int, int]]:
+    """Split ``range(num_units)`` into ``num_stages`` contiguous spans.
+
+    Every boundary between stages is a multiple of ``block`` (the last
+    stage absorbs the ragged tail), spans are non-empty and as even as
+    possible in whole blocks, and earlier stages take the remainder —
+    so the result is a total, deterministic layer-partition *map*
+    rather than a truncating division.
+
+    Returns a list of ``(start, end)`` half-open spans covering
+    ``0 .. num_units`` exactly.
+    """
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    if num_units < 1:
+        raise ValueError("need at least one unit to partition")
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    num_blocks = math.ceil(num_units / block)
+    if num_blocks < num_stages:
+        raise ValueError(
+            f"cannot split {num_units} units into {num_stages} non-empty "
+            f"stages at block granularity {block} "
+            f"(only {num_blocks} block(s) available)"
+        )
+    per_stage, remainder = divmod(num_blocks, num_stages)
+    spans: List[Tuple[int, int]] = []
+    start_block = 0
+    for stage in range(num_stages):
+        size = per_stage + (1 if stage < remainder else 0)
+        end_block = start_block + size
+        spans.append(
+            (start_block * block, min(end_block * block, num_units))
+        )
+        start_block = end_block
+    return spans
+
+
+def partition_layers(num_layers: int, num_stages: int) -> List[Tuple[int, int]]:
+    """The canonical layer→stage map: contiguous, non-empty, covering.
+
+    ``partition_layers(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]`` —
+    uneven splits hand the remainder to the *earliest* stages instead
+    of truncating it.
+    """
+    return partition_units(num_layers, num_stages, block=1)
+
+
+def validate_partition(
+    spans: List[Tuple[int, int]], num_units: int, block: int = 1
+) -> None:
+    """Raise ``ValueError`` unless ``spans`` is a legal partition map
+    (contiguous, non-empty, block-aligned interior boundaries, covering
+    ``0 .. num_units`` exactly)."""
+    if not spans:
+        raise ValueError("empty partition")
+    expected_start = 0
+    for i, (start, end) in enumerate(spans):
+        if start != expected_start:
+            raise ValueError(
+                f"stage {i} starts at {start}, expected {expected_start}"
+            )
+        if end <= start:
+            raise ValueError(f"stage {i} span ({start}, {end}) is empty")
+        if i < len(spans) - 1 and end % block:
+            raise ValueError(
+                f"stage {i} boundary {end} is not a multiple of block {block}"
+            )
+        expected_start = end
+    if expected_start != num_units:
+        raise ValueError(
+            f"partition covers {expected_start} units, expected {num_units}"
+        )

@@ -10,13 +10,18 @@ exact gradients.
 
 The simulator tracks, per stage: weight versions retained, the
 staleness (in updates) of the weights each micro-batch sees, and
-steady-state utilization.
+steady-state utilization.  With ``num_micro_batches`` given it also
+builds the concrete 1F1B *event stream* (the same
+:class:`~repro.pipeline.gpipe.SlotEvent` grammar GPipe emits), so the
+staged-backward runner can drive real scan work off either schedule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+from repro.pipeline.gpipe import SlotEvent
 
 
 @dataclass
@@ -27,12 +32,92 @@ class StageStats:
 
 
 class PipeDreamSchedule:
-    """Steady-state 1F1B analysis for a K-stage pipeline."""
+    """Steady-state 1F1B analysis for a K-stage pipeline.
 
-    def __init__(self, num_devices: int):
+    Passing ``num_micro_batches`` additionally materializes the 1F1B
+    slot schedule via a greedy slot-synchronous simulation: each slot,
+    every free device runs its lowest-numbered *ready* backward if one
+    exists, otherwise its lowest-numbered ready forward, subject to the
+    stage-``k`` in-flight cap of ``K − k`` micro-batches (the weight
+    versions ``stage_stats`` accounts for).  Readiness requires the
+    producing event to have completed in a strictly earlier slot.
+    """
+
+    def __init__(self, num_devices: int, num_micro_batches: Optional[int] = None):
         if num_devices < 1:
             raise ValueError("need at least one device")
+        if num_micro_batches is not None and num_micro_batches < 1:
+            raise ValueError("need at least one micro-batch")
         self.K = num_devices
+        self.M = num_micro_batches
+        self.events: Optional[List[SlotEvent]] = (
+            None if num_micro_batches is None else self._build()
+        )
+
+    def _build(self) -> List[SlotEvent]:
+        events: List[SlotEvent] = []
+        fwd_done = {}  # (micro_batch, stage) -> slot it ran in
+        bwd_done = {}
+        t = 0
+        # Makespan of greedy 1F1B is 2M + 2(K−1); anything far beyond
+        # that means the readiness rules deadlocked — fail loudly.
+        limit = 4 * (self.M + self.K) + 8
+        while len(bwd_done) < self.M * self.K:
+            if t > limit:
+                raise RuntimeError("1F1B schedule failed to converge")
+            slot: List[SlotEvent] = []
+            for k in range(self.K):
+                b = next(
+                    (
+                        m
+                        for m in range(self.M)
+                        if (m, k) not in bwd_done
+                        and fwd_done.get((m, k), t) < t
+                        and (
+                            k == self.K - 1
+                            or bwd_done.get((m, k + 1), t) < t
+                        )
+                    ),
+                    None,
+                )
+                if b is not None:
+                    slot.append(SlotEvent(t, k, b, "B"))
+                    continue
+                in_flight = sum(
+                    1
+                    for m in range(self.M)
+                    if (m, k) in fwd_done and (m, k) not in bwd_done
+                )
+                if in_flight >= self.K - k:
+                    continue
+                f = next(
+                    (
+                        m
+                        for m in range(self.M)
+                        if (m, k) not in fwd_done
+                        and (k == 0 or fwd_done.get((m, k - 1), t) < t)
+                    ),
+                    None,
+                )
+                if f is not None:
+                    slot.append(SlotEvent(t, k, f, "F"))
+            for e in slot:
+                done = fwd_done if e.phase == "F" else bwd_done
+                done[(e.micro_batch, e.device)] = t
+            events.extend(slot)
+            t += 1
+        return events
+
+    @property
+    def total_slots(self) -> int:
+        if not self.events:
+            raise ValueError("no event stream (construct with num_micro_batches)")
+        return max(e.time for e in self.events) + 1
+
+    def utilization(self) -> float:
+        """Busy fraction of the materialized schedule (1F1B approaches
+        1.0 as M grows; :meth:`steady_state_utilization` is the limit)."""
+        return len(self.events) / (self.K * self.total_slots)
 
     def stage_stats(self) -> List[StageStats]:
         """Per-stage weight-version and staleness counts.

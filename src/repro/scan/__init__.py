@@ -70,6 +70,7 @@ from repro.scan.algorithms import (
     hillis_steele_scan,
     linear_scan,
     simple_op,
+    stage_truncated_scan,
     truncated_blelloch_scan,
 )
 # Submodule imports (not `from repro.backend import …`): repro.backend's
@@ -115,6 +116,7 @@ __all__ = [
     "blelloch_num_levels",
     "hillis_steele_scan",
     "truncated_blelloch_scan",
+    "stage_truncated_scan",
     "simple_op",
     "LevelTask",
     "ScanExecutor",

@@ -261,3 +261,70 @@ def truncated_blelloch_scan(
         # --- partial down-sweep (parallel levels k−1..0) ------------------
         _down_sweep(a, op, n, range(k - 1, -1, -1), ex)
     return a
+
+
+def stage_truncated_scan(
+    items: Sequence[Any],
+    op: OpFn,
+    up_levels: int,
+    prefix: Any = IDENTITY,
+    identity: Any = IDENTITY,
+    executor: ExecutorLike = None,
+    compose_tail: bool = False,
+) -> Tuple[List[Any], Any]:
+    """One pipeline stage's slice of a truncated Blelloch scan.
+
+    Runs the truncated-scan structure on a *slice* of the global scan
+    array, seeding the serial middle with ``prefix`` — the exclusive
+    prefix of everything to the slice's left (for stage 0 this is the
+    identity; for later stages it is the boundary gradient handed over
+    by the previous stage).  Returns ``(outputs, carry)`` where
+    ``carry`` is the exclusive prefix of everything up to and including
+    this slice (the next stage's ``prefix``) when ``compose_tail=True``,
+    and the prefix *excluding* the final block otherwise (the final
+    stage has no successor, so composing its tail summary would be
+    wasted work).
+
+    **Bitwise contract.**  Because sweep levels ``d < up_levels`` never
+    cross ``2^up_levels``-aligned slot boundaries and the serial middle
+    is a left-associative prefix chain, splitting a global array at
+    block-aligned boundaries and running each slice through this
+    function — threading ``carry`` → ``prefix`` in slice order —
+    reproduces :func:`truncated_blelloch_scan` on the whole array
+    *bitwise*, operation for operation.  :mod:`repro.pipeline.staged`
+    relies on this to make the staged backward exactly equal to the
+    monolithic one.  Callers must pass the *globally* clamped
+    ``up_levels`` (clamping locally per slice would change the block
+    size and break the alignment invariant — levels too deep for a
+    short tail slice simply schedule no ops).
+    """
+    a = list(items)
+    n = len(a) - 1
+    if n < 0:
+        raise ValueError("scan stage requires a non-empty array")
+    k = up_levels
+    if k < 0:
+        raise ValueError("up_levels must be >= 0")
+    if n == 0:
+        # Degenerate one-slot slice: the output is the incoming prefix
+        # and the slot's own value folds into the carry.
+        carry = prefix
+        if compose_tail:
+            carry = op(prefix, a[0], OpInfo("serial-mid", k, 0, 0))
+        return [prefix], carry
+
+    with _resolved_executor(executor) as ex:
+        _up_sweep(a, op, n, range(k), ex)
+
+        block = 1 << k
+        roots = [min(start + block - 1, n) for start in range(0, n + 1, block)]
+        pfx = prefix
+        for m, root in enumerate(roots):
+            summary = a[root]
+            a[root] = pfx
+            if m < len(roots) - 1 or compose_tail:
+                nxt = roots[m + 1] if m < len(roots) - 1 else root
+                pfx = op(pfx, summary, OpInfo("serial-mid", k, root, nxt))
+
+        _down_sweep(a, op, n, range(k - 1, -1, -1), ex)
+    return a, pfx

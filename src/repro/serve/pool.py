@@ -23,10 +23,12 @@ from typing import Any, Dict, List, Sequence
 from repro.backend.registry import get_executor
 from repro.config import ScanConfig
 from repro.scan import (
+    IDENTITY,
     ScanContext,
     blelloch_scan,
     hillis_steele_scan,
     linear_scan,
+    stage_truncated_scan,
     truncated_blelloch_scan,
 )
 
@@ -85,6 +87,38 @@ class ScanEngine:
             )
         return blelloch_scan(items, self.context.op, executor=self.executor)
 
+    def run_stage_scan(
+        self,
+        items: Sequence[Any],
+        up_levels: int,
+        prefix: Any = IDENTITY,
+        compose_tail: bool = False,
+        jobs: int = 1,
+    ) -> Any:
+        """Run one pipeline stage's slice of a truncated scan.
+
+        Thin engine entry point over
+        :func:`repro.scan.stage_truncated_scan`: the stage's slice runs
+        on this engine's executor and warmed context, seeded with the
+        boundary ``prefix`` handed over from the previous stage, and
+        returns ``(outputs, carry)``.  ``up_levels`` is the *globally*
+        clamped truncation depth shared by every stage of the run (not
+        this engine's own ``config.up_levels``) — block alignment is
+        what keeps the staged backward bitwise-equal to the monolithic
+        scan, so the caller owns that number.
+        """
+        with self._lock:
+            self.scans += 1
+            self.jobs += jobs
+        return stage_truncated_scan(
+            items,
+            self.context.op,
+            up_levels=up_levels,
+            prefix=prefix,
+            executor=self.executor,
+            compose_tail=compose_tail,
+        )
+
     def stats(self) -> Dict[str, Any]:
         """Usage counters plus this engine's private-cache view."""
         with self._lock:
@@ -134,6 +168,17 @@ class EnginePool:
             self._engines[config] = engine
             self.created += 1
             return engine
+
+    def get_many(self, configs: Sequence[ScanConfig]) -> List[ScanEngine]:
+        """Pooled engines for a per-stage config list, in stage order.
+
+        Stages naming equivalent resolved configurations share one
+        engine (and hence one executor and plan cache) — the counters
+        record exactly one ``created`` per distinct config and one
+        ``reused`` per repeat, so a staged pipeline's engine footprint
+        reconciles the same way single requests do.
+        """
+        return [self.get(config) for config in configs]
 
     def retire(self, config: ScanConfig) -> bool:
         """Close and drop one engine; False if it was not pooled."""

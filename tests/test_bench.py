@@ -313,11 +313,12 @@ class TestRunner:
     def test_artifact_catalog_covers_all_paper_artifacts(self):
         names = artifact_names()
         # 13 experiments + the two scan microbenchmarks + the serving
-        # benchmark
-        assert len(names) == 16
+        # benchmark + the staged-pipeline sweep
+        assert len(names) == 17
         assert "parallel_backends" in names
         assert "sparse_scan" in names
         assert "serve_throughput" in names
+        assert "pipeline_scan" in names
 
 
 class TestExperimentDataViewSplit:
