@@ -53,7 +53,7 @@ from repro.bench.writer import load_records, write_results
 
 # Imported lazily so ``python -m repro.bench.compare`` does not find the
 # submodule pre-imported in sys.modules (runpy would warn).
-_COMPARE_EXPORTS = ("Delta", "compare_results", "has_regressions")
+_COMPARE_EXPORTS = ("Delta", "classify", "compare_results", "has_regressions")
 
 
 def __getattr__(name):
@@ -69,6 +69,7 @@ __all__ = [
     "BenchRecord",
     "Delta",
     "SCHEMA_VERSION",
+    "classify",
     "SchemaError",
     "TimingStats",
     "compare_results",

@@ -49,6 +49,30 @@ class Delta:
     status: str  # "ok" | "regression" | "improved" | "added" | "removed"
 
 
+def classify(
+    old_median_s: float,
+    new_median_s: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple:
+    """Verdict for one matched pair of medians: ``(status, ratio)``.
+
+    The single place the regression/improvement call is made — the CLI
+    gate and the results dashboard (:mod:`repro.dashboard`) both color
+    their deltas through this function, so the two can never disagree
+    on what counts as a regression.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    ratio = new_median_s / old_median_s if old_median_s > 0 else float("inf")
+    if new_median_s > old_median_s * (1.0 + tolerance):
+        status = "regression"
+    elif new_median_s < old_median_s * (1.0 - tolerance):
+        status = "improved"
+    else:
+        status = "ok"
+    return status, ratio
+
+
 def compare_results(
     old: Sequence[BenchRecord],
     new: Sequence[BenchRecord],
@@ -76,13 +100,7 @@ def compare_results(
             )
             continue
         old_m, new_m = o.timing.median_s, n.timing.median_s
-        ratio = new_m / old_m if old_m > 0 else float("inf")
-        if new_m > old_m * (1.0 + tolerance):
-            status = "regression"
-        elif new_m < old_m * (1.0 - tolerance):
-            status = "improved"
-        else:
-            status = "ok"
+        status, ratio = classify(old_m, new_m, tolerance)
         deltas.append(Delta(artifact, scale, backend, old_m, new_m, ratio, status))
     return deltas
 

@@ -18,7 +18,7 @@ import datetime
 import json
 import pathlib
 import uuid
-from typing import Any, Iterable, List, Sequence, Union
+from typing import Any, Iterable, List, Mapping, Sequence, Union
 
 from repro.bench.record import SCHEMA_VERSION, BenchRecord, SchemaError
 from repro.experiments.common import to_jsonable
@@ -81,6 +81,10 @@ def load_records(path: Union[str, pathlib.Path]) -> List[BenchRecord]:
     Accepts both the ``{"schema_version", "records"}`` document form
     and a bare list of record dicts; raises
     :class:`~repro.bench.record.SchemaError` on anything malformed.
+    A per-record validation failure names the file, the record's index
+    in it, *and* (when present) the record's own artifact/backend key —
+    a 34-record ``bench.json`` with one bad entry must point straight
+    at the culprit, not just at the file.
     """
     raw = json.loads(pathlib.Path(path).read_text())
     if isinstance(raw, dict):
@@ -91,4 +95,16 @@ def load_records(path: Union[str, pathlib.Path]) -> List[BenchRecord]:
         items = raw
     else:
         raise SchemaError(f"{path}: expected a JSON object or array")
-    return [BenchRecord.from_dict(d) for d in items]
+    records: List[BenchRecord] = []
+    for index, d in enumerate(items):
+        try:
+            records.append(BenchRecord.from_dict(d))
+        except SchemaError as exc:
+            ident = ""
+            if isinstance(d, Mapping):
+                artifact = d.get("artifact")
+                backend = d.get("backend")
+                if artifact is not None or backend is not None:
+                    ident = f" (artifact={artifact!r}, backend={backend!r})"
+            raise SchemaError(f"{path}: record {index}{ident}: {exc}") from exc
+    return records

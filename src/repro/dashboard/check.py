@@ -1,0 +1,174 @@
+"""Structural checks over a built site: cheap, offline, strict.
+
+The dashboard's CI leg does not need a browser to catch the failure
+modes that matter for a static artifact:
+
+* **well-formedness** — every start tag is closed in order (stdlib
+  :class:`html.parser.HTMLParser` with a tag stack; void elements
+  exempt), so a page never renders half a table silently;
+* **internal links** — every relative ``href`` resolves to a file
+  inside the site root, so the deterministic URL scheme is actually
+  navigable from any entry point;
+* **self-containment** — no ``http(s)://``, protocol-relative, or
+  ``src=``-loaded reference anywhere; the site must open fully from a
+  ``file://`` URL or an unzipped CI artifact with zero network access.
+
+Command line (exit 1 with one line per problem)::
+
+    python -m repro.dashboard.check site/
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from html.parser import HTMLParser
+from typing import List, Optional, Sequence, Tuple, Union
+
+#: Elements that never take a closing tag in HTML5.
+_VOID = frozenset(
+    "area base br col embed hr img input link meta source track wbr".split()
+)
+
+#: URL prefixes that reach outside the site.
+_EXTERNAL_PREFIXES = ("http://", "https://", "//", "file:")
+
+
+class _PageParser(HTMLParser):
+    """Collects tag-balance errors and link targets for one page."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.stack: List[str] = []
+        self.errors: List[str] = []
+        self.links: List[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        for name, value in attrs:
+            if value is None:
+                continue
+            if name == "href":
+                self.links.append(value)
+            elif name in ("src", "srcset", "data"):
+                self.errors.append(
+                    f"loads an asset via {name}={value!r} — the site must "
+                    "be self-contained"
+                )
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag: str, attrs) -> None:
+        self.handle_starttag(tag, attrs)
+        if tag not in _VOID:
+            self.stack.pop()
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in _VOID:
+            return
+        if not self.stack:
+            self.errors.append(f"closing </{tag}> without a matching start tag")
+        elif self.stack[-1] != tag:
+            self.errors.append(
+                f"closing </{tag}> while <{self.stack[-1]}> is open "
+                "(misnested tags)"
+            )
+            # Recover so one misnesting does not cascade into noise.
+            if tag in self.stack:
+                while self.stack and self.stack[-1] != tag:
+                    self.stack.pop()
+                self.stack.pop()
+        else:
+            self.stack.pop()
+
+    def close(self) -> None:
+        super().close()
+        for tag in self.stack:
+            self.errors.append(f"<{tag}> is never closed")
+        self.stack = []
+
+
+def check_page(
+    path: pathlib.Path, root: pathlib.Path
+) -> Tuple[List[str], List[str]]:
+    """One page's problems: ``(errors, internal_link_targets)``."""
+    text = path.read_text(encoding="utf-8")
+    errors: List[str] = []
+    for prefix in ("http://", "https://"):
+        if prefix in text:
+            errors.append(
+                f"contains a {prefix} reference — the site must be "
+                "self-contained"
+            )
+    parser = _PageParser()
+    parser.feed(text)
+    parser.close()
+    errors.extend(parser.errors)
+    targets: List[str] = []
+    for link in parser.links:
+        if link.startswith(_EXTERNAL_PREFIXES):
+            errors.append(f"external link {link!r}")
+            continue
+        bare = link.split("#", 1)[0]
+        if not bare:
+            continue  # pure fragment
+        resolved = (path.parent / bare).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            errors.append(f"link {link!r} escapes the site root")
+            continue
+        if not resolved.is_file():
+            errors.append(f"broken internal link {link!r}")
+        else:
+            targets.append(str(resolved))
+    return errors, targets
+
+
+def check_site(site_dir: Union[str, pathlib.Path]) -> List[str]:
+    """All problems of a built site, as ``"<relpath>: <problem>"`` lines.
+
+    Also reports orphan pages — HTML files no other page links to
+    (``index.html`` itself exempt) — since an unlinked page is
+    unreachable by navigation and usually means a renderer forgot to
+    register it.
+    """
+    root = pathlib.Path(site_dir)
+    pages = sorted(root.rglob("*.html"))
+    if not pages:
+        return [f"{root}: no HTML files found"]
+    problems: List[str] = []
+    linked: set = set()
+    for page_path in pages:
+        errors, targets = check_page(page_path, root)
+        rel = page_path.relative_to(root)
+        problems.extend(f"{rel}: {e}" for e in errors)
+        linked.update(targets)
+    index = (root / "index.html").resolve()
+    for page_path in pages:
+        resolved = str(page_path.resolve())
+        if resolved != str(index) and resolved not in linked:
+            problems.append(
+                f"{page_path.relative_to(root)}: unreachable — no page "
+                "links to it"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.dashboard.check SITE_DIR")
+        return 2
+    problems = check_site(args[0])
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} problem(s).")
+        return 1
+    print("site OK: well-formed, self-contained, all internal links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

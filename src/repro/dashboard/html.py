@@ -1,0 +1,167 @@
+"""HTML building blocks for the dashboard — deterministic and inline.
+
+Design rules every page shares (they are what the dashboard tests pin):
+
+* **Deterministic URLs.**  Following the mlanthology static-site
+  scheme, every entity has a computable location — ``index.html``,
+  ``artifact/<name>/index.html``, ``backend/<slug>/index.html``,
+  ``delta/index.html`` — so external docs can deep-link without a
+  lookup table.  :func:`backend_slug` is the only nontrivial mapping
+  (backend labels contain ``:``/``[]`` characters that do not belong
+  in paths) and its outputs are pinned by ``tests/test_dashboard.py``.
+* **Self-contained files.**  All styling is one inline ``<style>``
+  block; there are no script tags, no external assets, and no
+  ``http(s)://`` references anywhere in the site
+  (:mod:`repro.dashboard.check` enforces this).  Any page can be
+  opened from a file:// URL or an unzipped CI artifact.
+* **Byte determinism.**  Nothing here consults the clock or any
+  unsorted container, so rebuilding from the same records is
+  byte-identical.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+from typing import Iterable, List, Optional, Sequence
+
+#: The one stylesheet, inlined into every page.  Plain system fonts and
+#: a small palette; the regression/improvement colors match the status
+#: vocabulary of :mod:`repro.bench.compare`.
+STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, Helvetica, Arial,
+       sans-serif; margin: 2rem auto; max-width: 64rem; padding: 0 1rem;
+       color: #1a1a1a; }
+h1, h2, h3 { line-height: 1.2; }
+code { background: #f2f2f2; padding: 0.1em 0.3em; border-radius: 3px;
+       font-size: 0.92em; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: 0.92em; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.6em; text-align: left; }
+th { background: #f5f5f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.status-regression td { background: #fde8e8; }
+tr.status-improved td { background: #e6f6e6; }
+tr.status-added td, tr.status-removed td { background: #f5f0e6; }
+.crumbs { font-size: 0.88em; margin-bottom: 1rem; }
+.meta { color: #555; font-size: 0.88em; }
+svg { vertical-align: middle; }
+dl.env { display: grid; grid-template-columns: max-content auto;
+         gap: 0.15rem 1rem; font-size: 0.88em; }
+dl.env dt { font-weight: 600; }
+dl.env dd { margin: 0; font-family: monospace; }
+footer { margin-top: 3rem; border-top: 1px solid #ddd; padding-top: 0.6rem;
+         color: #777; font-size: 0.82em; }
+""".strip()
+
+
+def esc(value: object) -> str:
+    """HTML-escape a value for text or attribute position."""
+    return _html.escape(str(value), quote=True)
+
+
+def backend_slug(label: str) -> str:
+    """Filesystem/URL slug for a backend label.
+
+    ``"thread:2[sparse=on][kernel=numba]"`` →
+    ``"thread-2-sparse-on-kernel-numba"``.  Collapses every non-
+    alphanumeric run to one ``-`` and trims the ends; the mapping is
+    stable (pinned by tests) because the slugs are the site's public
+    deep-link surface.
+    """
+    slug = re.sub(r"[^a-zA-Z0-9]+", "-", label).strip("-")
+    if not slug:
+        raise ValueError(f"backend label {label!r} yields an empty slug")
+    return slug
+
+
+def page(
+    *,
+    title: str,
+    body: str,
+    depth: int,
+    crumbs: Optional[Sequence[tuple]] = None,
+) -> str:
+    """A complete HTML document around ``body`` (already-escaped HTML).
+
+    ``depth`` is how many directories below the site root the page
+    lives (0 for ``index.html``, 2 for ``artifact/<name>/index.html``);
+    it sizes the relative prefix of the breadcrumb links.  ``crumbs``
+    is ``[(text, href_or_None), ...]`` relative to the site root.
+    """
+    prefix = "../" * depth
+    crumb_html = ""
+    if crumbs:
+        parts: List[str] = []
+        for text, href in crumbs:
+            if href is None:
+                parts.append(esc(text))
+            else:
+                parts.append(f'<a href="{esc(prefix + href)}">{esc(text)}</a>')
+        crumb_html = f'<nav class="crumbs">{" › ".join(parts)}</nav>\n'
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n'
+        "<head>\n"
+        '<meta charset="utf-8">\n'
+        f"<title>{esc(title)}</title>\n"
+        f"<style>\n{STYLE}\n</style>\n"
+        "</head>\n"
+        "<body>\n"
+        f"{crumb_html}"
+        f"{body}\n"
+        "<footer>bppsa-repro results dashboard — static, self-contained, "
+        "regenerable with <code>python -m repro.dashboard</code>.</footer>\n"
+        "</body>\n"
+        "</html>\n"
+    )
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """An HTML table from pre-rendered cell strings.
+
+    Cells are **not** escaped here — callers pass through :func:`esc`
+    for data and keep markup (links, SVG) intact.  A cell string
+    starting with ``<td`` is taken verbatim (for class-carrying cells);
+    anything else is wrapped in a plain ``<td>``.  Rows may carry a
+    leading ``("@class", name)`` marker tuple — rendered as the
+    ``<tr>``'s class — which is how delta rows get their status color.
+    """
+    out = ["<table>", "<thead><tr>"]
+    out += [f"<th>{h}</th>" for h in headers]
+    out.append("</tr></thead>")
+    out.append("<tbody>")
+    for row in rows:
+        cells = list(row)
+        tr_class = ""
+        if cells and isinstance(cells[0], tuple) and cells[0][0] == "@class":
+            tr_class = f' class="{esc(cells[0][1])}"'
+            cells = cells[1:]
+        out.append(f"<tr{tr_class}>")
+        for cell in cells:
+            if cell.startswith("<td"):
+                out.append(cell)
+            else:
+                out.append(f"<td>{cell}</td>")
+        out.append("</tr>")
+    out.append("</tbody>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def num_cell(text: str) -> str:
+    """A right-aligned numeric cell (pre-escaped text)."""
+    return f'<td class="num">{text}</td>'
+
+
+def fmt_ms(seconds: Optional[float]) -> str:
+    """Milliseconds with fixed precision (deterministic formatting)."""
+    return f"{seconds * 1e3:.3f}" if seconds is not None else "–"
+
+
+def fmt_ratio(ratio: Optional[float]) -> str:
+    """A ratio like ``1.04×`` (``∞`` guarded, ``–`` when absent)."""
+    if ratio is None:
+        return "–"
+    if ratio == float("inf"):
+        return "∞"
+    return f"{ratio:.2f}×"

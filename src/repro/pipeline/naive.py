@@ -19,6 +19,7 @@ class NaiveModelParallel:
         self.K = num_devices
 
     def utilization(self) -> float:
+        """Mean busy fraction: exactly one of K devices works at a time."""
         return 1.0 / self.K
 
     def iteration_slots(self) -> int:

@@ -26,6 +26,8 @@ from repro.pipeline.gpipe import SlotEvent
 
 @dataclass
 class StageStats:
+    """Steady-state memory/staleness profile of one pipeline stage."""
+
     stage: int
     weight_versions: int
     forward_staleness: int  # updates behind at forward time (steady state)
@@ -110,6 +112,7 @@ class PipeDreamSchedule:
 
     @property
     def total_slots(self) -> int:
+        """Length of the materialized 1F1B schedule in slots."""
         if not self.events:
             raise ValueError("no event stream (construct with num_micro_batches)")
         return max(e.time for e in self.events) + 1
@@ -137,6 +140,7 @@ class PipeDreamSchedule:
         ]
 
     def max_weight_versions(self) -> int:
+        """Peak per-stage weight copies (stage 0 keeps all K versions)."""
         return self.K
 
     def steady_state_utilization(self) -> float:

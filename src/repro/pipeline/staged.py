@@ -258,6 +258,9 @@ class StagedRNNBPPSA:
         return grads
 
     def apply_gradients(self, grads: Dict[int, np.ndarray]) -> None:
+        """Install :meth:`compute_gradients` output onto the classifier's
+        parameters (keyed by ``id(param)``), reshaping each gradient back
+        to its parameter's shape so an optimizer step can consume it."""
         for p in self.clf.parameters():
             g = grads.get(id(p))
             if g is not None:
@@ -311,6 +314,7 @@ class _RunState:
 
     # -- event dispatch -------------------------------------------------
     def run_event(self, event: SlotEvent) -> None:
+        """Execute one schedule event (F or B) on its device, timed."""
         start = time.perf_counter()
         if event.phase == "F":
             self._forward(event.device, event.micro_batch)
@@ -390,6 +394,8 @@ class _RunState:
 
     # -- post-loop reduction --------------------------------------------
     def accumulate_gradients(self) -> Dict[int, np.ndarray]:
+        """Gather per-micro-batch hidden gradients in index order and
+        reduce them to parameter gradients (bitwise-stable order)."""
         engine = self.engine
         clf = engine.clf
         seq_len = self.x.shape[1]
@@ -397,6 +403,7 @@ class _RunState:
         sums: Dict[str, Optional[np.ndarray]] = {}
 
         def add(name: str, value: Optional[np.ndarray]) -> None:
+            """Accumulate one named parameter-gradient term (None = skip)."""
             if value is None:
                 return
             sums[name] = value if sums.get(name) is None else sums[name] + value
@@ -438,6 +445,7 @@ class _RunState:
         return grads
 
     def stats(self, run_start: float, run_end: float) -> Dict[str, Any]:
+        """The run's utilization/memory summary (``last_run_stats``)."""
         engine = self.engine
         makespan = max(run_end - run_start, 1e-12)
         busy = sum(t["end"] - t["start"] for t in self.timings)

@@ -122,6 +122,7 @@ async def run_load(
     rows: List[Dict[str, Any]] = []
 
     async def client(c: int) -> None:
+        """One client coroutine: submit its job stream, record latencies."""
         for j in range(jobs_per_client):
             spec, items = make_job(
                 c,

@@ -1,0 +1,37 @@
+"""Regenerate the dashboard golden page after an intentional markup change.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/regen_dashboard.py
+
+Rebuilds the synthetic-corpus site of ``tests/test_dashboard.py`` and
+copies the ``parallel_backends`` artifact page over
+``tests/golden/dashboard_parallel_backends.html``.  Review the diff
+before committing — the golden exists so rendering changes are always
+a conscious decision.
+"""
+
+import pathlib
+import sys
+import tempfile
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))  # tests/ for the corpus fixtures
+
+from test_dashboard import _baseline, _corpus  # noqa: E402
+
+from repro.dashboard import build_site  # noqa: E402
+
+
+def main() -> None:
+    """Rebuild the synthetic site and refresh the golden page."""
+    with tempfile.TemporaryDirectory() as tmp:
+        build_site(tmp, _corpus(), _baseline(), tolerance=0.25)
+        page = pathlib.Path(tmp) / "artifact" / "parallel_backends" / "index.html"
+        target = HERE / "dashboard_parallel_backends.html"
+        target.write_text(page.read_text())
+        print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -129,6 +129,31 @@ class TestWriter:
         with pytest.raises(SchemaError):
             load_records(p)
 
+    def test_load_error_names_record_index_and_key(self, tmp_path):
+        """One bad record in a big file must point at the culprit: the
+        error carries the record's index plus its artifact/backend, not
+        just the file path."""
+        records = [_record(), _record("eq6_complexity", backend="thread:2")]
+        combined = write_results(records, tmp_path)
+        doc = json.loads(combined.read_text())
+        del doc["records"][1]["timing"]["median_s"]
+        combined.write_text(json.dumps(doc))
+        with pytest.raises(
+            SchemaError,
+            match=(
+                r"record 1 \(artifact='eq6_complexity', "
+                r"backend='thread:2'\)"
+            ),
+        ) as excinfo:
+            load_records(combined)
+        assert str(combined) in str(excinfo.value)
+        # A record too malformed to even carry its key still gets the
+        # file + index.
+        doc["records"][1] = {"not": "a record"}
+        combined.write_text(json.dumps(doc))
+        with pytest.raises(SchemaError, match="record 1:"):
+            load_records(combined)
+
 
 class TestCompare:
     def test_identical_files_pass(self, tmp_path):
@@ -191,6 +216,36 @@ class TestCompare:
         assert "cannot load" in capsys.readouterr().out
         missing_file = tmp_path / "nope.json"
         assert compare_main([str(good), str(missing_file)]) == 2
+
+    def test_exit_2_message_names_record_index_and_key(self, tmp_path, capsys):
+        """The CLI's schema-error path surfaces the per-record context
+        from load_records: file, record index, and artifact/backend."""
+        good = write_results([_record()], tmp_path / "a")
+        bad = write_results(
+            [_record(), _record("eq6_complexity", backend="thread:2")],
+            tmp_path / "b",
+        )
+        doc = json.loads(bad.read_text())
+        doc["records"][1]["num_rows"] = -1
+        bad.write_text(json.dumps(doc))
+        assert compare_main([str(good), str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert "record 1" in out
+        assert "artifact='eq6_complexity'" in out
+        assert "backend='thread:2'" in out
+
+    def test_classify_is_the_shared_verdict_core(self):
+        """`classify` — importable from repro.bench — is the single
+        verdict function compare_results routes through."""
+        from repro.bench import classify
+
+        assert classify(1.0, 1.0) == ("ok", 1.0)
+        assert classify(1.0, 1.26, tolerance=0.25) == ("regression", 1.26)
+        assert classify(1.0, 0.74, tolerance=0.25) == ("improved", 0.74)
+        status, ratio = classify(0.0, 0.5)
+        assert status == "regression" and ratio == float("inf")
+        with pytest.raises(ValueError):
+            classify(1.0, 1.0, tolerance=-0.1)
 
 
 class TestKernelAxis:
