@@ -19,7 +19,7 @@ from repro.data import SyntheticImages
 from repro.jacobian import conv2d_tjac_pruned
 from repro.nn import Sequential, VGG11
 from repro.optim import SGD
-from repro.pruning import apply_masks, magnitude_prune, model_sparsity
+from repro.pruning import magnitude_prune, model_sparsity
 
 rng = np.random.default_rng(0)
 model = VGG11(rng=rng, width_multiplier=0.125)
@@ -47,7 +47,8 @@ for step, (x, y) in enumerate(data.batches(16, num_batches=6)):
     grads = engine.compute_gradients(x, y)
     engine.apply_gradients(grads)
     opt.step()
-    apply_masks(model, masks)
+    masks.reapply(model)
+    masks.assert_applied(model)
     logits = engine.last_logits
     shifted = logits - logits.max(axis=1, keepdims=True)
     nll = np.log(np.exp(shifted).sum(axis=1)) - shifted[np.arange(len(y)), y]

@@ -36,7 +36,7 @@ Package map (see DESIGN.md for the full inventory):
 
 ========================  =============================================
 ``repro.tensor``          reverse-mode autodiff substrate (the baseline)
-``repro.nn``              layers, RNN, LeNet-5, VGG-11, losses
+``repro.nn``              layers, RNN, attention, LeNet-5, VGG-11, losses
 ``repro.optim``           SGD(+momentum), Adam
 ``repro.sparse``          CSR + plan-cached SpGEMM
 ``repro.jacobian``        analytical transposed-Jacobian generators
@@ -49,6 +49,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.data``            bitstream task, synthetic CIFAR-10 substitute
 ``repro.pruning``         magnitude pruning for the retraining benchmark
 ``repro.analysis``        static FLOPs, complexity laws
+``repro.workloads``       named workload registry: models as bench artifacts
 ``repro.experiments``     one runnable module per paper table/figure
 ========================  =============================================
 """

@@ -360,6 +360,41 @@ def _pipeline_scan_rows(
     return rows
 
 
+def _transformer_scan_rows(
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
+) -> List[Dict[str, Any]]:
+    """The ``transformer_block`` workload (:mod:`repro.workloads`): one
+    scan-backprop pass of an attention + LayerNorm + MLP chain — the
+    mixed dense-per-sample / block-sparse SparsePolicy stress."""
+    from repro.workloads import transformer_scan_rows
+
+    return transformer_scan_rows(scale, spec, sparse, kernel)
+
+
+def _pruned_sparsity_rows(
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
+) -> List[Dict[str, Any]]:
+    """The ``pruned_mlp`` workload pipeline (:mod:`repro.workloads`):
+    train → magnitude-prune → retrain (masks asserted every step) →
+    dense-vs-CSR gradient-step timing per pruning fraction.  Sweeps
+    its sparse contrast internally, so backend-sensitive only."""
+    from repro.workloads import pruned_sparsity_rows
+
+    return pruned_sparsity_rows(scale, spec, sparse, kernel)
+
+
+def _pruned_sparsity_metrics(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    from repro.workloads import pruned_sparsity_metrics
+
+    return pruned_sparsity_metrics(rows)
+
+
 def _serve_throughput_rows(
     scale: Scale,
     spec: Optional[str],
@@ -380,8 +415,9 @@ def _serve_throughput_metrics(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
     return serve_metrics(rows)
 
 
-#: Every benchmarkable artifact, in run order (the 13 paper artifacts of
-#: :mod:`repro.experiments.run_all` plus the scan microbenchmark).
+#: Every benchmarkable artifact, in run order: the 13 paper artifacts
+#: of :mod:`repro.experiments.run_all`, the scan/serving/pipeline
+#: microbenchmarks, and the :mod:`repro.workloads` registry sweeps.
 ARTIFACTS: List[BenchArtifact] = [
     BenchArtifact("table2_devices", _experiment(table2_devices)),
     BenchArtifact(
@@ -432,6 +468,18 @@ ARTIFACTS: List[BenchArtifact] = [
         "pipeline_scan",
         _pipeline_scan_rows,
         backend_sensitive=True,
+    ),
+    BenchArtifact(
+        "transformer_scan",
+        _transformer_scan_rows,
+        backend_sensitive=True,
+        sparse_sensitive=True,
+    ),
+    BenchArtifact(
+        "pruned_sparsity",
+        _pruned_sparsity_rows,
+        backend_sensitive=True,
+        metrics_fn=_pruned_sparsity_metrics,
     ),
 ]
 

@@ -52,7 +52,8 @@ class FeedforwardBPPSA(ExecutorOwner):
     model:
         A :class:`~repro.nn.module.Sequential` of supported layers
         (Linear / Conv2d / ReLU / Tanh / Sigmoid / MaxPool2d /
-        AvgPool2d / Flatten).
+        AvgPool2d / Flatten / SelfAttention / LayerNorm — so a
+        :class:`~repro.nn.attention.TransformerBlock` works directly).
     config:
         A :class:`~repro.config.ScanConfig` (or spec string / mapping)
         naming the whole scan surface declaratively — the preferred
@@ -266,13 +267,29 @@ class FeedforwardBPPSA(ExecutorOwner):
     def _accumulate_param_grads(
         self, layer, idx: int, g_out: np.ndarray, grads: Dict[int, np.ndarray]
     ) -> None:
-        from repro.core.param_grads import conv2d_param_grads, linear_param_grads
+        from repro.core.param_grads import (
+            attention_param_grads,
+            conv2d_param_grads,
+            linear_param_grads,
+        )
+        from repro.nn.attention import SelfAttention
 
         x_in = self._activations[idx]
         x_out = self._activations[idx + 1]
+        if isinstance(layer, SelfAttention):
+            res = attention_param_grads(layer, x_in, g_out)
+            grads[id(layer.wq)] = res["wq"]
+            grads[id(layer.wk)] = res["wk"]
+            grads[id(layer.wv)] = res["wv"]
+            return
         if isinstance(layer, L.Linear):
+            # Collapse any leading position axes so the same contraction
+            # serves both flat (B, d_in) and position-wise (B, T, d_in)
+            # applications (bias then sums over batch *and* positions).
             res = linear_param_grads(
-                x_in.reshape(x_in.shape[0], -1), g_out, layer.bias is not None
+                x_in.reshape(-1, layer.in_features),
+                g_out.reshape(-1, layer.out_features),
+                layer.bias is not None,
             )
         elif isinstance(layer, L.Conv2d):
             res = conv2d_param_grads(

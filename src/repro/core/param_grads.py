@@ -27,6 +27,37 @@ def linear_param_grads(
     return {"weight": gw, "bias": gb}
 
 
+def attention_param_grads(
+    layer, x_in: np.ndarray, grad_out: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Gradients of a residual self-attention stage's Wq/Wk/Wv.
+
+    ``layer``: a :class:`~repro.nn.attention.SelfAttention`; ``x_in``:
+    the recorded (B, T, d) stage input; ``grad_out``: ∇(stage output),
+    (B, T·d) flattened from the scan (or already (B, T, d)).
+
+    For ``Y = X + A V`` with ``A = softmax_rows(Q K^T · scale)``:
+    ``∇V = A^T G``, ``∇A = G V^T``, ``∇S`` via the row-softmax
+    backward, then ``∇Q = scale · ∇S K``, ``∇K = scale · ∇S^T Q``, and
+    each weight gradient is the Eq. 2 contraction against ``X``.
+    """
+    x = np.asarray(x_in, dtype=np.float64)
+    g = np.asarray(grad_out, dtype=np.float64).reshape(x.shape)
+    arrs = layer.attention_arrays(x)
+    attn, q, k, v = arrs["attn"], arrs["q"], arrs["k"], arrs["v"]
+    d_v = np.swapaxes(attn, -1, -2) @ g  # (B, T, d)
+    d_attn = g @ np.swapaxes(v, -1, -2)  # (B, T, T)
+    d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
+    d_q = layer.scale * (d_scores @ k)
+    d_k = layer.scale * (np.swapaxes(d_scores, -1, -2) @ q)
+    # W (out, in) applied as x @ W.T, so ∇W[o, i] = Σ ∇proj_to x_ti.
+    return {
+        "wq": np.einsum("nto,nti->oi", d_q, x),
+        "wk": np.einsum("nto,nti->oi", d_k, x),
+        "wv": np.einsum("nto,nti->oi", d_v, x),
+    }
+
+
 def conv2d_param_grads(
     x_in: np.ndarray,
     grad_out: np.ndarray,

@@ -129,6 +129,16 @@ CATALOG: Tuple[CatalogEntry, ...] = (
         "repo artifact",
         "the staged scan pipeline across stages × micro-batches",
     ),
+    CatalogEntry(
+        "transformer_scan",
+        "repo artifact",
+        "attention-block Jacobian chain through every sparse mode",
+    ),
+    CatalogEntry(
+        "pruned_sparsity",
+        "Figure 11 / §4.2",
+        "train → prune → retrain: weight sparsity into scan speedup",
+    ),
 )
 
 

@@ -36,6 +36,12 @@ from repro.jacobian.pool import (
     maxpool_tjac,
     maxpool_tjac_batched,
 )
+from repro.jacobian.attention import (
+    attention_tjac_batched,
+    layernorm_tjac_batched,
+    linear_tjac_positionwise,
+    softmax_jac,
+)
 from repro.jacobian.linear import linear_tjac, linear_tjac_csr
 from repro.jacobian.autograd_gen import autograd_tjac
 from repro.jacobian.dispatch import BatchedJacobian, layer_tjac_batched
@@ -59,6 +65,10 @@ __all__ = [
     "avgpool_tjac",
     "linear_tjac",
     "linear_tjac_csr",
+    "linear_tjac_positionwise",
+    "attention_tjac_batched",
+    "layernorm_tjac_batched",
+    "softmax_jac",
     "autograd_tjac",
     "BatchedJacobian",
     "layer_tjac_batched",

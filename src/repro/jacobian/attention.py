@@ -1,0 +1,124 @@
+"""Analytical transposed Jacobians of the attention-block operators.
+
+Orientation follows the package convention (and ``autograd_tjac``):
+``tjac[r, c] = ∂y_c / ∂x_r`` with activations flattened in C order, so
+a (T, d) activation indexes as ``flat = t·d + a``.
+
+Three structural regimes, in decreasing sparsity:
+
+* **position-wise Linear** on a (B, T, d) input — ``kron(I_T, W^T)``,
+  a shared block-diagonal CSR of density exactly ``1/T`` (guaranteed
+  zeros off-block);
+* **LayerNorm** — block-diagonal like the Linear, but with *per-sample*
+  d×d blocks: each block is the symmetric rank-2 correction
+  ``(1/σ)(I − 11^T/d − x̂x̂^T/d)``;
+* **softmax self-attention** (with residual) — structurally dense:
+  the row-softmax couples every position pair, so the stage is stored
+  as per-sample dense (B, T·d, T·d) and is the scan's densify stress
+  case.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse import CSRMatrix, csr_block_diag
+
+
+def softmax_jac(a: np.ndarray) -> np.ndarray:
+    """Jacobian of a softmax from its outputs: ``diag(a) − a a^T``.
+
+    ``a``: (..., n) softmax outputs (rows sum to 1).  Returns
+    (..., n, n) with ``out[..., i, j] = ∂softmax_j/∂s_i`` — symmetric,
+    and every row sums to 0 (moving probability mass around cannot
+    change the total), the structural property the Hypothesis suite
+    checks.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[-1]
+    return a[..., :, None] * (np.eye(n) - a[..., None, :])
+
+
+def linear_tjac_positionwise(weight: np.ndarray, seq_len: int) -> CSRMatrix:
+    """``kron(I_T, W^T)`` — the T-Jacobian of a position-wise Linear.
+
+    ``weight``: (d_out, d_in) in the :class:`~repro.nn.layers.Linear`
+    convention; the block is ``W^T`` (shape (d_in, d_out)) repeated
+    ``seq_len`` times down the diagonal.  All block entries are stored
+    (pattern depends only on shapes, so it is plan-cacheable across
+    training steps even as the weights move).
+    """
+    w = np.asarray(weight, dtype=np.float64)
+    return csr_block_diag(w.T, seq_len)
+
+
+def layernorm_tjac_batched(
+    x: np.ndarray, eps: float = 1e-5
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Batched LayerNorm T-Jacobian: shared block-diagonal pattern +
+    per-sample data.
+
+    ``x``: (B, T, d) layer *input*.  For ``y = (x − μ)/σ`` with
+    ``σ = sqrt(var + eps)`` the per-position block is
+
+        ``∂y_j/∂x_i = (1/σ)(δ_ij − 1/d − x̂_i x̂_j / d)``
+
+    — symmetric, so the transposed Jacobian equals the Jacobian.
+    Returns ``(pattern, data)`` with ``pattern`` of shape (T·d, T·d)
+    and ``data`` of shape (B, T·d·d): blocks in position order, each
+    block row-major — exactly the value order of
+    :func:`repro.sparse.csr_block_diag`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError(f"expected (B, T, d) input, got shape {x.shape}")
+    batch, seq_len, d = x.shape
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered**2).mean(axis=-1, keepdims=True)
+    sigma = np.sqrt(var + eps)  # (B, T, 1)
+    xhat = centered / sigma  # (B, T, d)
+    blocks = (
+        np.eye(d) - 1.0 / d - xhat[..., :, None] * xhat[..., None, :] / d
+    ) / sigma[..., None]
+    pattern = csr_block_diag(np.ones((d, d)), seq_len)
+    return pattern, blocks.reshape(batch, seq_len * d * d)
+
+
+def attention_tjac_batched(layer, x_in: np.ndarray) -> np.ndarray:
+    """Per-sample dense T-Jacobian of a residual self-attention stage.
+
+    ``layer``: a :class:`~repro.nn.attention.SelfAttention`; ``x_in``:
+    its recorded (B, T, d) input.  Returns (B, T·d, T·d) with
+    ``out[n, i·d+a, t·d+b] = ∂Y_tb/∂X_ia`` for ``Y = X + A V``.
+
+    Writing ``KWq = K Wq``, ``QWk = Q Wk`` and
+    ``W2[t, w, b] = A_tw (V_wb − (AV)_tb)`` (the row-softmax backward
+    applied to V), the four terms are
+
+    * the residual identity ``δ_ti δ_ab``;
+    * the value path ``A_ti Wv_ba``;
+    * the query path ``scale · δ_ti Σ_w W2[t,w,b] KWq_wa``;
+    * the key path ``scale · W2[t,i,b] QWk_ta``.
+    """
+    x = np.asarray(x_in, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError(f"expected (B, T, d) input, got shape {x.shape}")
+    batch, seq_len, d = x.shape
+    arrs = layer.attention_arrays(x)
+    attn, v, av = arrs["attn"], arrs["v"], arrs["av"]
+    kwq = arrs["k"] @ layer.wq.data  # (B, T, d): KWq_wa = Σ_c K_wc Wq_ca
+    qwk = arrs["q"] @ layer.wk.data  # (B, T, d): QWk_ta = Σ_c Q_tc Wk_ca
+    # W2[n, t, w, b] = A_tw (V_wb − (AV)_tb)
+    w2 = attn[..., :, :, None] * (v[:, None, :, :] - av[:, :, None, :])
+
+    jac = np.einsum("nti,ba->niatb", attn, layer.wv.data)
+    jac += layer.scale * np.einsum("ntib,nta->niatb", w2, qwk)
+    # Query path lands on the i == t diagonal of the (i, t) axes.
+    query = layer.scale * np.einsum("ntwb,nwa->ntab", w2, kwq)
+    for t in range(seq_len):
+        jac[:, t, :, t, :] += query[:, t]
+    dim = seq_len * d
+    return jac.reshape(batch, dim, dim) + np.eye(dim)

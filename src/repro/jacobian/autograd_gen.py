@@ -35,8 +35,11 @@ def autograd_tjac(
     m = y.data.size
     tjac = np.empty((x.size, m), dtype=np.float64)
     for col in range(m):
-        probe = Tensor(x, requires_grad=True)
-        y = fn(probe)
+        if col > 0:
+            # Each backward pass consumes a fresh tape; the warm-up
+            # build above already provides the tape for column 0.
+            probe = Tensor(x, requires_grad=True)
+            y = fn(probe)
         seed = np.zeros(y.data.shape)
         seed.reshape(-1)[col] = 1.0
         y.backward(seed)

@@ -18,11 +18,17 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.jacobian.attention import (
+    attention_tjac_batched,
+    layernorm_tjac_batched,
+    linear_tjac_positionwise,
+)
 from repro.jacobian.conv import conv2d_tjac
 from repro.jacobian.linear import linear_tjac, linear_tjac_csr
 from repro.jacobian.pointwise import tanh_tjac_batched, relu_tjac_batched
 from repro.jacobian.pool import avgpool_tjac, maxpool_tjac_batched
 from repro.nn import layers as L
+from repro.nn.attention import LayerNorm, SelfAttention
 from repro.sparse import CSRMatrix
 
 
@@ -90,11 +96,25 @@ def layer_tjac_batched(
 
     if isinstance(layer, L.Linear):
         w = layer.weight.data
+        if x_in.ndim == 3:
+            # Position-wise application on (B, T, d): the flattened
+            # stage Jacobian is kron(I_T, W^T) — block-diagonal with
+            # guaranteed zeros off-block, density exactly 1/T.
+            csr = linear_tjac_positionwise(w, x_in.shape[1])
+            return BatchedJacobian(shape=csr.shape, pattern=csr)
         if sparse_linear_tol is not None:
             csr = linear_tjac_csr(w, tol=sparse_linear_tol)
             return BatchedJacobian(shape=csr.shape, pattern=csr)
         tj = linear_tjac(w)
         return BatchedJacobian(shape=tj.shape, dense=tj)
+
+    if isinstance(layer, LayerNorm):
+        pattern, data = layernorm_tjac_batched(x_in, eps=layer.eps)
+        return BatchedJacobian(shape=pattern.shape, pattern=pattern, data=data)
+
+    if isinstance(layer, SelfAttention):
+        dense = attention_tjac_batched(layer, x_in)
+        return BatchedJacobian(shape=dense.shape[1:], dense=dense)
 
     if isinstance(layer, L.Conv2d):
         _, _, hi, wi = x_in.shape

@@ -20,6 +20,12 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
+from repro.nn.attention import (
+    LayerNorm,
+    SelfAttention,
+    TransformerBlock,
+    make_transformer_classifier,
+)
 from repro.nn.rnn import RNN, RNNCell, RNNClassifier
 from repro.nn.loss import CrossEntropyLoss, MSELoss, nll_loss, softmax_xent_grad
 from repro.nn.models import (
@@ -46,6 +52,10 @@ __all__ = [
     "Tanh",
     "Sigmoid",
     "Flatten",
+    "LayerNorm",
+    "SelfAttention",
+    "TransformerBlock",
+    "make_transformer_classifier",
     "RNN",
     "RNNCell",
     "RNNClassifier",

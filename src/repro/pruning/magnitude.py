@@ -29,6 +29,38 @@ class MaskSet:
         kept = sum(int(m.sum()) for m in self.masks.values())
         return 1.0 - kept / total if total else 0.0
 
+    def reapply(self, model: Module) -> None:
+        """Re-zero pruned weights in place.
+
+        Call after every optimizer step during retraining: the step
+        updates *all* weights (gradients at pruned positions are
+        generally nonzero), so without re-application the mask silently
+        erodes.  Equivalent to :func:`apply_masks` but lives on the
+        mask set so retrain loops cannot pair a model with the wrong
+        masks.
+        """
+        apply_masks(model, self)
+
+    def assert_applied(self, model: Module) -> None:
+        """Raise ``AssertionError`` if any masked weight is nonzero.
+
+        The persistence check for retrain loops: after
+        ``opt.step(); masks.reapply(model)`` this must always pass —
+        the ``pruned_sparsity`` workload asserts it every step so a
+        drifting mask fails loudly instead of quietly densifying the
+        Jacobians it is supposed to keep sparse.
+        """
+        for p in model.parameters():
+            mask = self.masks.get(id(p))
+            if mask is None:
+                continue
+            leaked = (p.data != 0.0) & (mask == 0.0)
+            if leaked.any():
+                raise AssertionError(
+                    f"{int(leaked.sum())} pruned weight(s) are nonzero; "
+                    "call MaskSet.reapply(model) after each optimizer step"
+                )
+
     def __len__(self) -> int:
         return len(self.masks)
 

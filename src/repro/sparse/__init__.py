@@ -21,6 +21,7 @@ oracle.
 from repro.sparse.csr import (
     CSRMatrix,
     coo_to_csr_with_perm,
+    csr_block_diag,
     csr_eye,
     csr_from_diagonal,
     csr_matvec_batched,
@@ -37,6 +38,7 @@ from repro.sparse.spgemm import (
 __all__ = [
     "CSRMatrix",
     "coo_to_csr_with_perm",
+    "csr_block_diag",
     "csr_eye",
     "csr_from_diagonal",
     "csr_matvec_batched",

@@ -285,3 +285,30 @@ def csr_from_diagonal(d: np.ndarray) -> CSRMatrix:
     n = len(d)
     idx = np.arange(n, dtype=np.int64)
     return CSRMatrix(np.arange(n + 1, dtype=np.int64), idx, d.copy(), (n, n))
+
+
+def csr_block_diag(block: np.ndarray, count: int) -> CSRMatrix:
+    """``kron(I_count, block)`` with structurally dense blocks.
+
+    Every entry of ``block`` is stored (possible zeros included), so the
+    pattern depends only on the shapes — the deterministic-sparsity
+    property plan caching relies on.  Off-block entries are guaranteed
+    zeros; overall density is exactly ``1/count``.  This is the
+    transposed-Jacobian shape of any position-wise operator on a
+    (T, d) activation: a Linear applied per position, or LayerNorm
+    (whose per-position d×d blocks are then per-sample ``data``).
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError(f"expected a 2-D block, got shape {block.shape}")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    r, c = block.shape
+    nrows = count * r
+    indptr = np.arange(nrows + 1, dtype=np.int64) * c
+    cols = np.tile(np.arange(c, dtype=np.int64), r)
+    indices = (
+        np.arange(count, dtype=np.int64)[:, None] * c + cols[None, :]
+    ).reshape(-1)
+    data = np.tile(block.reshape(-1), count)
+    return CSRMatrix(indptr, indices, data, (nrows, count * c))

@@ -1,0 +1,39 @@
+"""repro.workloads — named models as first-class scan workloads.
+
+The workload plane (DESIGN.md §2f): a registry of named specs — model
+factory, per-scale input shapes, and the *expected Jacobian block
+structure* of every engine stage — that the bench runner sweeps like
+any other artifact and tests validate structurally.  Two workloads
+ship: ``transformer_block`` (attention's dense per-sample Jacobian +
+LayerNorm/MLP block-sparsity as a SparsePolicy stress) and
+``pruned_mlp`` (the train → magnitude-prune → retrain pipeline whose
+weight sparsity becomes scan-operand sparsity becomes speedup).
+"""
+
+from repro.workloads.pruning_pipeline import (
+    pruned_sparsity_metrics,
+    pruned_sparsity_rows,
+)
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    stage_structures,
+    structure_tag,
+    validate_workload,
+    workload_names,
+)
+from repro.workloads.transformer import transformer_scan_rows
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "pruned_sparsity_metrics",
+    "pruned_sparsity_rows",
+    "stage_structures",
+    "structure_tag",
+    "transformer_scan_rows",
+    "validate_workload",
+    "workload_names",
+]

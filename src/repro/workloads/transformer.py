@@ -1,0 +1,80 @@
+"""The ``transformer_scan`` workload: a transformer block as a scan.
+
+One full BPPSA gradient computation of the ``transformer_block``
+workload per timed call — softmax attention contributes the engine's
+only (B, T·d, T·d) *dense per-sample* stage, LayerNorm a block-diagonal
+per-sample CSR, and the position-wise MLP Linears shared CSRs of
+density exactly 1/T, so a single chain stresses every storage form the
+:class:`~repro.scan.SparsePolicy` dispatches on.  Swept per backend ×
+sparse mode by the bench runner, the artifact answers: what does each
+dispatch mode pay on a chain that *mixes* structurally-dense and
+block-sparse stages?
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.common import Scale
+from repro.workloads.registry import get_workload, stage_structures
+
+#: Steady-state cache, keyed like the runner's ``_SPARSE_SCAN_STATE``:
+#: (engine, batch, structure rows) per measurement cell, so repeated
+#: timed calls reuse warmed SpGEMM plans and the recorded activations
+#: buffer exactly like consecutive training steps do.  Pair with
+#: ``--warmup 1`` so the cold call stays un-timed.
+_STATE: Dict[tuple, tuple] = {}
+
+
+def transformer_scan_rows(
+    scale: Scale,
+    spec: Optional[str],
+    sparse: Optional[str],
+    kernel: Optional[str],
+) -> List[Dict[str, Any]]:
+    """One Blelloch scan-backprop pass of the transformer block on the
+    given backend, sparse dispatch mode, and numeric kernel."""
+    from repro.bench.runner import measurement_config
+    from repro.config import ScanConfig, build_engine
+
+    wl = get_workload("transformer_block")
+    p = wl.params(scale)
+    cfg = measurement_config(spec, sparse, kernel).resolve()
+    key = (scale, cfg.executor, cfg.sparse, cfg.densify_threshold, cfg.kernel)
+    state = _STATE.get(key)
+    if state is None:
+        model = wl.build_model(scale)
+        x, targets = wl.make_batch(scale)
+        engine = build_engine(
+            model,
+            ScanConfig(
+                algorithm="blelloch",
+                executor=cfg.executor,
+                sparse=cfg.sparse,
+                densify_threshold=cfg.densify_threshold,
+                kernel=cfg.kernel,
+            ),
+        )
+        structure = stage_structures(
+            model, x, sparse_linear_tol=wl.sparse_linear_tol
+        )
+        _STATE[key] = (engine, x, targets, structure)
+    else:
+        engine, x, targets, structure = state
+    grads = engine.compute_gradients(x, targets)
+    return [
+        {
+            "seq_len": p["seq_len"],
+            "d_model": p["d_model"],
+            "batch": p["batch"],
+            "stage": row["stage"],
+            "layer": row["layer"],
+            "structure": row["structure"],
+            "density": round(float(row["density"]), 6),
+            "backend": cfg.executor,
+            "sparse": cfg.sparse,
+            "kernel": cfg.kernel,
+            "grad_tensors": len(grads),
+        }
+        for row in structure
+    ]

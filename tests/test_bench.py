@@ -368,12 +368,15 @@ class TestRunner:
     def test_artifact_catalog_covers_all_paper_artifacts(self):
         names = artifact_names()
         # 13 experiments + the two scan microbenchmarks + the serving
-        # benchmark + the staged-pipeline sweep
-        assert len(names) == 17
+        # benchmark + the staged-pipeline sweep + the two registry
+        # workloads
+        assert len(names) == 19
         assert "parallel_backends" in names
         assert "sparse_scan" in names
         assert "serve_throughput" in names
         assert "pipeline_scan" in names
+        assert "transformer_scan" in names
+        assert "pruned_sparsity" in names
 
 
 class TestExperimentDataViewSplit:

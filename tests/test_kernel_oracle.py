@@ -316,6 +316,51 @@ class TestEngineKernelOracle:
 
 
 # ---------------------------------------------------------------------------
+# the transformer workload cell
+# ---------------------------------------------------------------------------
+class TestTransformerWorkloadOracle:
+    """The ``transformer_block`` workload's gradients are bitwise-
+    identical across backend × sparse mode × kernel.
+
+    The chain mixes every Jacobian storage form the engine produces
+    (dense per-sample attention, per-sample CSR LayerNorm/ReLU, shared
+    CSR position-wise Linears, a shared dense head), so this one cell
+    pins the composition rules of all of them to the (serial,
+    ``numpy``) reference of each sparse mode."""
+
+    @staticmethod
+    def _grads(backend, sparse, kernel):
+        from repro.workloads import get_workload
+
+        wl = get_workload("transformer_block")
+        model = wl.build_model("smoke")
+        x, y = wl.make_batch("smoke")
+        with FeedforwardBPPSA(
+            model,
+            executor=backend,
+            sparse=sparse,
+            config={"kernel": kernel},
+        ) as eng:
+            grads = eng.compute_gradients(x, y)
+        return {
+            name: grads[id(p)].tobytes()
+            for name, p in model.named_parameters()
+        }
+
+    @pytest.mark.parametrize("sparse", ("on", "off", "auto:0.4"))
+    def test_bitwise_identical_across_cells(self, sparse):
+        ref = self._grads("serial", sparse, "numpy")
+        assert len(ref) == 9
+        for backend in ("thread:2", "process:2"):
+            for kernel in KERNELS:
+                got = self._grads(backend, sparse, kernel)
+                assert got == ref, (
+                    f"transformer cell ({backend}, sparse={sparse}, "
+                    f"kernel={kernel}) diverged from the reference"
+                )
+
+
+# ---------------------------------------------------------------------------
 # resolution semantics
 # ---------------------------------------------------------------------------
 class TestKernelResolution:

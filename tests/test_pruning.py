@@ -100,3 +100,49 @@ class TestMaskedRetraining:
             opt.step()
             apply_masks(model, masks)
         assert abs(model_sparsity(model) - 0.8) < 0.01
+
+
+class TestMaskPersistence:
+    """MaskSet.reapply / assert_applied — the retrain-loop contract."""
+
+    def test_reapply_equals_apply_masks(self, rng):
+        model = make_mlp([8, 8, 4], rng=rng)
+        masks = magnitude_prune(model, 0.75)
+        for p in model.parameters():
+            p.data = p.data + rng.standard_normal(p.data.shape)
+        masks.reapply(model)
+        assert abs(model_sparsity(model) - 0.75) < 0.01
+
+    def test_assert_applied_catches_leaked_weights(self, rng):
+        model = make_mlp([8, 8], rng=rng)
+        masks = magnitude_prune(model, 0.5)
+        masks.assert_applied(model)  # freshly pruned: must pass
+        for p in model.parameters():
+            p.data = p.data + 1.0  # optimizer step without reapply
+        with pytest.raises(AssertionError, match="reapply"):
+            masks.assert_applied(model)
+        masks.reapply(model)
+        masks.assert_applied(model)
+
+    def test_assert_applied_ignores_unmasked_models(self, rng):
+        # a mask set from one model must not constrain another
+        masks = magnitude_prune(make_mlp([4, 4], rng=rng), 0.9)
+        masks.assert_applied(make_mlp([4, 4], rng=rng))
+
+    def test_retrain_loop_holds_sparsity_every_step(self, rng):
+        from repro.core import FeedforwardBPPSA
+        from repro.optim import SGD
+
+        model = make_mlp([6, 10, 3], activation="relu", rng=rng)
+        masks = magnitude_prune(model, 0.8)
+        engine = FeedforwardBPPSA(model)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        x = rng.standard_normal((8, 6))
+        y = rng.integers(0, 3, 8)
+        for _ in range(4):
+            grads = engine.compute_gradients(x, y)
+            engine.apply_gradients(grads)
+            opt.step()
+            masks.reapply(model)
+            masks.assert_applied(model)  # must hold after *every* step
+        assert abs(model_sparsity(model) - 0.8) < 0.01
